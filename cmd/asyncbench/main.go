@@ -1,0 +1,71 @@
+// Command asyncbench regenerates the paper's tables and figures on the
+// simulated cluster. Each experiment prints the series or rows the paper
+// reports (error-vs-time curves, wait times, speedups).
+//
+// Usage:
+//
+//	asyncbench -exp fig3 -scale small
+//	asyncbench -exp all -scale tiny
+//
+// Experiments: table2, fig2..fig8, table3, ablation-broadcast,
+// ablation-localreduce, ablation-barrier, ablation-staleness,
+// ext-sspsweep, ext-staleness-dist, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (or 'all'; see package doc)")
+		scale   = flag.String("scale", "small", "dataset scale: tiny|small|full")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		rounds  = flag.Int("rounds", 0, "sync round budget (0 = scale default)")
+		minTask = flag.Duration("mintask", 2*time.Millisecond, "per-task compute floor")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		csvDir  = flag.String("csvdir", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+	o := experiments.Options{
+		Seed:        *seed,
+		SyncUpdates: *rounds,
+		MinTask:     *minTask,
+		CSVDir:      *csvDir,
+	}
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		o.Scale = dataset.ScaleTiny
+	case "small":
+		o.Scale = dataset.ScaleSmall
+	case "full":
+		o.Scale = dataset.ScaleFull
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("==================== %s ====================\n", id)
+		if err := experiments.Run(o, id, os.Stdout); err != nil {
+			fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asyncbench: "+format+"\n", args...)
+	os.Exit(1)
+}

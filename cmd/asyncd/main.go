@@ -1,0 +1,101 @@
+// Command asyncd runs the engine over real TCP sockets: one server process
+// and N worker processes. It demonstrates that the ASYNC protocol (tasks,
+// results, installs, versioned broadcast fetches) works across a real
+// transport, running a short ASGD job on a synthetic dataset.
+//
+// Server (drives the job):
+//
+//	asyncd -role server -addr :7077 -workers 4
+//
+// Workers (one per process; id in [0, workers)):
+//
+//	asyncd -role worker -addr host:7077 -id 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+	"repro/internal/rdd"
+	"repro/internal/straggler"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "server|worker")
+		addr    = flag.String("addr", ":7077", "listen/dial address")
+		workers = flag.Int("workers", 4, "number of workers (server)")
+		id      = flag.Int("id", 0, "worker id (worker)")
+		updates = flag.Int("updates", 200, "ASGD updates to run (server)")
+		delayW  = flag.Int("straggle", -1, "worker id to delay at 100% (worker; -1 = none)")
+	)
+	flag.Parse()
+	switch *role {
+	case "server":
+		if err := runServer(*addr, *workers, *updates); err != nil {
+			fatalf("server: %v", err)
+		}
+	case "worker":
+		var model straggler.Model = straggler.None{}
+		if *delayW == *id {
+			model = straggler.ControlledDelay{Worker: *id, Intensity: 1.0}
+		}
+		if err := cluster.DialWorkerTCP(*addr, *id, model, int64(*id)+1); err != nil {
+			fatalf("worker %d: %v", *id, err)
+		}
+	default:
+		fatalf("-role must be server or worker")
+	}
+}
+
+func runServer(addr string, workers, updates int) error {
+	fmt.Fprintf(os.Stderr, "asyncd: waiting for %d workers on %s\n", workers, addr)
+	c, ln, err := cluster.ListenTCP(addr, workers)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	defer c.Shutdown()
+	fmt.Fprintf(os.Stderr, "asyncd: %d workers connected\n", workers)
+
+	d, err := dataset.Generate(dataset.MNIST8MLike(dataset.ScaleTiny, 7))
+	if err != nil {
+		return err
+	}
+	_, fstar, err := opt.ReferenceOptimum(d)
+	if err != nil {
+		return err
+	}
+	rctx := rdd.NewContext(c)
+	if _, err := rctx.Distribute(d, 2*workers); err != nil {
+		return err
+	}
+	ac := core.New(rctx)
+	defer ac.Close()
+	start := time.Now()
+	// RemoteASGD dispatches registered ops (serializable args) rather than
+	// closures, so the whole job runs across the TCP transport.
+	res, err := opt.RemoteASGD(ac, d, opt.Params{
+		Step:       opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: float64(workers)},
+		SampleFrac: 0.5,
+		Updates:    updates,
+	}, fstar)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ASGD over TCP: %d updates in %v, final error %.4g\n",
+		updates, time.Since(start).Round(time.Millisecond), res.Trace.FinalError())
+	fmt.Print(res.Trace.FormatWait())
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asyncd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command datagen generates the synthetic Table 2 dataset analogues in
+// LIBSVM format, or lists their shapes.
+//
+// Usage:
+//
+//	datagen -list -scale small
+//	datagen -name rcv1-like -scale small -out rcv1.libsvm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list dataset shapes and exit")
+		name  = flag.String("name", "", "dataset to generate: rcv1-like|mnist8m-like|epsilon-like")
+		scale = flag.String("scale", "small", "dataset scale: tiny|small|full")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		out   = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	var sc dataset.Scale
+	switch *scale {
+	case "tiny":
+		sc = dataset.ScaleTiny
+	case "small":
+		sc = dataset.ScaleSmall
+	case "full":
+		sc = dataset.ScaleFull
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	cfgs := dataset.Table2(sc, *seed)
+	if *list {
+		fmt.Printf("%-14s %8s %8s %10s\n", "name", "rows", "cols", "nnz/row")
+		for _, c := range cfgs {
+			fmt.Printf("%-14s %8d %8d %10d\n", c.Name, c.Rows, c.Cols, c.NNZPerRow)
+		}
+		return
+	}
+	var cfg *dataset.SynthConfig
+	for i := range cfgs {
+		if cfgs[i].Name == *name {
+			cfg = &cfgs[i]
+			break
+		}
+	}
+	if cfg == nil {
+		fatalf("unknown dataset %q (use -list)", *name)
+	}
+	d, err := dataset.Generate(*cfg)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteLIBSVM(w, d); err != nil {
+		fatalf("write: %v", err)
+	}
+	s := d.Stats()
+	fmt.Fprintf(os.Stderr, "wrote %s: %d x %d, %d nnz, %.2f MB\n", s.Name, s.Rows, s.Cols, s.NNZ, s.SizeMB)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "ASYNC: A Cloud Engine
+// with Asynchrony and History for Distributed Machine Learning" (Soori et
+// al., IPDPS 2020; arXiv:1907.08526).
+//
+// The library lives under internal/: a Spark-like dataflow substrate
+// (cluster, rdd), the ASYNC engine itself (core), the optimization methods
+// the paper evaluates (opt), straggler models (straggler), datasets
+// (dataset, la), and one experiment harness per paper table and figure
+// (experiments). bench_test.go in this directory regenerates every table
+// and figure as a Go benchmark; cmd/asyncbench does the same as a CLI.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,85 @@
+// barrier_control demonstrates the ASYNCscheduler's barrier-control
+// interface (Listing 2): the same training loop runs under ASP, BSP, SSP
+// and a custom completion-time barrier, each expressed as a predicate over
+// the STAT table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/opt"
+	"repro/internal/rdd"
+	"repro/internal/straggler"
+)
+
+func train(name string, barrier core.BarrierFunc, filter core.WorkerFilter) {
+	c, err := cluster.NewLocal(cluster.Config{
+		NumWorkers:  4,
+		Delay:       straggler.ControlledDelay{Worker: 3, Intensity: 1.5},
+		Seed:        9,
+		MinTaskTime: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	d, err := dataset.Generate(dataset.MNIST8MLike(dataset.ScaleTiny, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rctx := rdd.NewContext(c)
+	if _, err := rctx.Distribute(d, 8); err != nil {
+		log.Fatal(err)
+	}
+	ac := core.New(rctx)
+	defer ac.Close()
+
+	// hand-rolled ASGD loop so the barrier is front and centre
+	w := la.NewVec(d.NumCols())
+	loss := opt.LeastSquares{}
+	step := opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: 4}
+	const updates = 160
+	start := time.Now()
+	k := int64(0)
+	for k < updates {
+		wBr := ac.ASYNCbroadcast("w", w.Clone())
+		sel, err := ac.ASYNCbarrier(barrier, filter)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ac.ASYNCreduce(sel, opt.GradKernel(loss, wBr, 0.4)); err != nil {
+			log.Fatal(err)
+		}
+		for first := true; (first || ac.HasNext()) && k < updates; first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			g := tr.Payload.(la.Vec)
+			la.Axpy(-step.Alpha(k)/float64(tr.Attrs.MiniBatch), g, w)
+			k = ac.AdvanceClock()
+		}
+	}
+	st := ac.STAT()
+	fmt.Printf("%-22s %4d updates in %8v; max in-flight staleness %d\n",
+		name, k, time.Since(start).Round(time.Millisecond), st.MaxStaleness)
+}
+
+func main() {
+	fmt.Println("one straggling worker (150% delay); same loop, four barrier strategies")
+	// ASP: f: STAT.foreach(true)
+	train("ASP", core.ASP(), nil)
+	// BSP: f: STAT.foreach(Available_Workers == P)
+	train("BSP", core.BSP(), nil)
+	// SSP: f: STAT.foreach(MAX_Staleness < s)
+	train("SSP(s=32)", core.SSP(32), nil)
+	// custom: only task workers whose average completion time is bounded —
+	// the completion-time barrier family of [69]
+	train("AvgTaskTime<4ms", core.ASP(), core.MaxAvgTaskTime(4*time.Millisecond))
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+)
+
+// Endpoint is one side of a bidirectional message link between the server
+// and a worker. Send must be safe for concurrent use; Recv is called from a
+// single receive loop per endpoint.
+type Endpoint interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// ErrClosed is returned by endpoint operations after Close.
+var ErrClosed = errors.New("cluster: endpoint closed")
+
+// chanEndpoint is the in-process endpoint: a pair of buffered channels with
+// a shared close signal, so closing either side tears down both.
+type chanEndpoint struct {
+	in     <-chan Message
+	out    chan<- Message
+	closed chan struct{}
+	once   *sync.Once
+}
+
+// inprocBuffer sizes the channel buffers. It is generous so that a slow
+// results consumer never deadlocks the dispatch path at experiment scale.
+const inprocBuffer = 4096
+
+// NewInprocPair creates a connected (server, worker) endpoint pair.
+func NewInprocPair() (server, worker Endpoint) {
+	a := make(chan Message, inprocBuffer) // server → worker
+	b := make(chan Message, inprocBuffer) // worker → server
+	closed := make(chan struct{})
+	once := &sync.Once{}
+	return &chanEndpoint{in: b, out: a, closed: closed, once: once},
+		&chanEndpoint{in: a, out: b, closed: closed, once: once}
+}
+
+func (e *chanEndpoint) Send(m Message) error {
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.out <- m:
+		return nil
+	case <-e.closed:
+		return ErrClosed
+	}
+}
+
+func (e *chanEndpoint) Recv() (Message, error) {
+	select {
+	case m := <-e.in:
+		return m, nil
+	case <-e.closed:
+		// drain anything already buffered before reporting closure
+		select {
+		case m := <-e.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *chanEndpoint) Close() error {
+	e.once.Do(func() { close(e.closed) })
+	return nil
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// Env is the worker-local state visible to task functions: the partitions
+// the worker owns, the broadcast cache (the ASYNCbroadcaster's worker half),
+// a seeded RNG for mini-batch sampling, and a fetch hook for cache misses.
+type Env struct {
+	WorkerID int
+
+	mu    sync.RWMutex
+	parts map[int]*dataset.Partition
+
+	cache *BroadcastCache
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	storeMu sync.Mutex
+	store   map[string]any
+
+	// fetch blocks until the server returns the broadcast value (id, version).
+	fetch func(id string, version int64) (any, error)
+}
+
+// NewEnv builds a worker environment. fetch may be nil for workers that never
+// resolve historical broadcast values.
+func NewEnv(workerID int, seed int64, fetch func(id string, version int64) (any, error)) *Env {
+	return &Env{
+		WorkerID: workerID,
+		parts:    map[int]*dataset.Partition{},
+		cache:    NewBroadcastCache(0),
+		rng:      rand.New(rand.NewSource(seed)),
+		fetch:    fetch,
+	}
+}
+
+// InstallPartition stores (or replaces) a partition on the worker.
+func (e *Env) InstallPartition(p *dataset.Partition) error {
+	if p == nil {
+		return fmt.Errorf("cluster: worker %d: nil partition", e.WorkerID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parts[p.Index] = p
+	return nil
+}
+
+// Partition returns the worker's copy of partition i.
+func (e *Env) Partition(i int) (*dataset.Partition, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.parts[i]
+	if !ok {
+		return nil, fmt.Errorf("cluster: worker %d does not hold partition %d", e.WorkerID, i)
+	}
+	return p, nil
+}
+
+// Partitions returns the indices of partitions held by the worker.
+func (e *Env) Partitions() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int, 0, len(e.parts))
+	for i := range e.parts {
+		out = append(out, i)
+	}
+	return out
+}
+
+// DropPartition removes partition i (used when rebalancing after recovery).
+func (e *Env) DropPartition(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.parts, i)
+}
+
+// Rand calls f with the worker's seeded RNG under a lock. Task functions use
+// it for mini-batch sampling when the task does not carry its own seed.
+func (e *Env) Rand(f func(*rand.Rand)) {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	f(e.rng)
+}
+
+// Cache exposes the worker's broadcast cache.
+func (e *Env) Cache() *BroadcastCache { return e.cache }
+
+// StoreGetOrCreate returns the worker-local value under key, creating it
+// with mk on first use. The ASYNC layer keeps per-worker history tables
+// (sample index → model version) here.
+func (e *Env) StoreGetOrCreate(key string, mk func() any) any {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	if e.store == nil {
+		e.store = map[string]any{}
+	}
+	v, ok := e.store[key]
+	if !ok {
+		v = mk()
+		e.store[key] = v
+	}
+	return v
+}
+
+// StoreGet returns the worker-local value under key.
+func (e *Env) StoreGet(key string) (any, bool) {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	v, ok := e.store[key]
+	return v, ok
+}
+
+// StoreDelete removes a worker-local value.
+func (e *Env) StoreDelete(key string) {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	delete(e.store, key)
+}
+
+// BroadcastValue resolves a broadcast value: cache first, then a blocking
+// fetch from the server. This is the worker half of the ASYNCbroadcaster:
+// the server re-broadcasts only (id, version); the value itself crosses the
+// wire once per worker.
+func (e *Env) BroadcastValue(id string, version int64) (any, error) {
+	if v, ok := e.cache.Get(id, version); ok {
+		return v, nil
+	}
+	if e.fetch == nil {
+		return nil, fmt.Errorf("cluster: worker %d: broadcast %s@%d not cached and no fetch path", e.WorkerID, id, version)
+	}
+	v, err := e.fetch(id, version)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(id, version, v)
+	return v, nil
+}
+
+// BroadcastCache is the worker-side versioned broadcast store. Values are
+// keyed by (id, version); history depth per id is bounded by maxVersions
+// (0 = unbounded) with oldest-version eviction, mirroring the paper's note
+// that workers keep previously broadcast model parameters in local memory.
+type BroadcastCache struct {
+	mu          sync.RWMutex
+	byID        map[string]map[int64]any
+	order       map[string][]int64 // insertion order per id, for eviction
+	maxVersions int
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+// NewBroadcastCache builds a cache holding at most maxVersions versions per
+// broadcast id (0 = unbounded).
+func NewBroadcastCache(maxVersions int) *BroadcastCache {
+	return &BroadcastCache{
+		byID:        map[string]map[int64]any{},
+		order:       map[string][]int64{},
+		maxVersions: maxVersions,
+	}
+}
+
+// Get returns the cached value for (id, version).
+func (c *BroadcastCache) Get(id string, version int64) (any, bool) {
+	c.mu.RLock()
+	v, ok := c.byID[id][version]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a value for (id, version), evicting the oldest version of the
+// same id when the per-id bound is exceeded.
+func (c *BroadcastCache) Put(id string, version int64, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.byID[id]
+	if !ok {
+		m = map[int64]any{}
+		c.byID[id] = m
+	}
+	if _, exists := m[version]; !exists {
+		c.order[id] = append(c.order[id], version)
+	}
+	m[version] = v
+	if c.maxVersions > 0 {
+		for len(c.order[id]) > c.maxVersions {
+			oldest := c.order[id][0]
+			c.order[id] = c.order[id][1:]
+			delete(m, oldest)
+			c.evicted.Add(1)
+		}
+	}
+}
+
+// Latest returns the highest cached version for id.
+func (c *BroadcastCache) Latest(id string) (int64, any, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.byID[id]
+	var best int64 = -1
+	var bv any
+	for ver, v := range m {
+		if ver > best {
+			best, bv = ver, v
+		}
+	}
+	return best, bv, best >= 0
+}
+
+// CacheStats is a snapshot of cache counters, used by the broadcast ablation.
+type CacheStats struct {
+	Hits, Misses, Evicted int64
+	Versions              int
+}
+
+// Stats snapshots the counters.
+func (c *BroadcastCache) Stats() CacheStats {
+	c.mu.RLock()
+	n := 0
+	for _, m := range c.byID {
+		n += len(m)
+	}
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Evicted:  c.evicted.Load(),
+		Versions: n,
+	}
+}

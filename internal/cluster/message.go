@@ -1,0 +1,175 @@
+// Package cluster implements the distributed runtime substrate beneath the
+// ASYNC engine: worker processes with their own executor loop and local
+// state, a server that dispatches tasks and collects results, and a
+// pluggable Transport with two implementations — in-process channels (the
+// default, simulating the paper's XSEDE cluster with real concurrency and
+// real wall-clock timing) and TCP + gob (demonstrating the same protocol
+// across real sockets).
+//
+// The protocol is message-passing in both directions:
+//
+//	server → worker: RunTask, InstallPartition, BroadcastPush, FetchReply, Shutdown
+//	worker → server: Hello, TaskResult, Fetch, Ack
+//
+// Stragglers are injected at the worker executor: after a task's real
+// compute finishes, the worker sleeps for the model's extra delay, exactly
+// like the paper's sleep-based controlled delay (§6.3).
+package cluster
+
+import (
+	"encoding/gob"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Kind discriminates protocol messages.
+type Kind int
+
+// Protocol message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindRunTask
+	KindTaskResult
+	KindInstallPartition
+	KindAck
+	KindFetch
+	KindFetchReply
+	KindBroadcastPush
+	KindShutdown
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindRunTask:
+		return "run-task"
+	case KindTaskResult:
+		return "task-result"
+	case KindInstallPartition:
+		return "install-partition"
+	case KindAck:
+		return "ack"
+	case KindFetch:
+		return "fetch"
+	case KindFetchReply:
+		return "fetch-reply"
+	case KindBroadcastPush:
+		return "broadcast-push"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return "unknown"
+	}
+}
+
+// TaskFunc is the in-process fast path for task execution. It cannot cross a
+// real transport; remote-capable tasks use a registered Op instead.
+type TaskFunc func(env *Env, t *Task) (any, error)
+
+// Task is one unit of work dispatched to a worker.
+type Task struct {
+	ID        int64
+	Op        string // registered op name; "" when fn is set (in-proc only)
+	Args      any    // op arguments; concrete type must be gob-registered for TCP
+	Partition int    // partition the task targets; -1 = worker-wide
+	Seed      int64  // per-task sampling seed, for reproducibility
+	Dispatch  int64  // server logical clock (update count) at dispatch — staleness bookkeeping
+
+	fn TaskFunc // unexported: never serialized
+}
+
+// SetFunc attaches an in-process task function. Tasks with a func bypass the
+// op registry; they cannot be sent over a real transport.
+func (t *Task) SetFunc(f TaskFunc) { t.fn = f }
+
+// Func returns the attached in-process task function, if any.
+func (t *Task) Func() TaskFunc { return t.fn }
+
+// Result is a completed task's payload plus the worker-side measurements the
+// ASYNC bookkeeping structures need (per-task worker ID, timings, batch).
+type Result struct {
+	TaskID   int64
+	Worker   int
+	Op       string
+	Dispatch int64 // echoed from the task, for staleness computation
+	Payload  any
+	Err      string // non-empty on task failure
+
+	ComputeTime time.Duration // real compute plus injected straggler delay
+	WaitTime    time.Duration // idle time between previous submit and this task's start
+}
+
+// Failed reports whether the task errored on the worker.
+func (r *Result) Failed() bool { return r.Err != "" }
+
+// FetchReq asks the server for a broadcast value the worker does not have
+// cached (the ASYNCbroadcaster miss path).
+type FetchReq struct {
+	Worker  int
+	ID      string
+	Version int64
+}
+
+// FetchReply carries the requested broadcast value back to the worker.
+type FetchReply struct {
+	ID      string
+	Version int64
+	Value   any
+	Err     string
+}
+
+// BroadcastPush eagerly installs a broadcast value in the worker cache.
+type BroadcastPush struct {
+	ID      string
+	Version int64
+	Value   any
+}
+
+// InstallPartition ships a data partition to a worker at setup (or during
+// recovery after a crash).
+type InstallPartition struct {
+	Part *dataset.Partition
+}
+
+// Hello is the worker's first message on a transport connection.
+type Hello struct {
+	Worker int
+}
+
+// Ack acknowledges an install (correlated by sequence number).
+type Ack struct {
+	Seq int64
+	Err string
+}
+
+// Message is the single envelope exchanged between server and workers.
+// Exactly one pointer field (matching Kind) is set.
+type Message struct {
+	Kind       Kind
+	Seq        int64 // request/ack correlation for control messages
+	Hello      *Hello
+	Task       *Task
+	Result     *Result
+	Install    *InstallPartition
+	Ack        *Ack
+	Fetch      *FetchReq
+	FetchReply *FetchReply
+	Push       *BroadcastPush
+}
+
+// RegisterGobTypes registers every protocol type plus the payload types the
+// optimization layer ships, so the TCP transport can encode them. Callers
+// with custom Args/Payload types must gob.Register them too.
+func RegisterGobTypes() {
+	gob.Register(Hello{})
+	gob.Register(Task{})
+	gob.Register(Result{})
+	gob.Register(InstallPartition{})
+	gob.Register(Ack{})
+	gob.Register(FetchReq{})
+	gob.Register(FetchReply{})
+	gob.Register(BroadcastPush{})
+	gob.Register(dataset.Partition{})
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OpFunc executes a registered, remote-capable operation on a worker.
+type OpFunc func(env *Env, t *Task) (any, error)
+
+var (
+	opMu  sync.RWMutex
+	opReg = map[string]OpFunc{}
+)
+
+// RegisterOp installs a named operation in the global registry. Ops must be
+// registered identically in every process that participates in a cluster
+// (exactly like Spark shipping the same application jar to every executor).
+// Registering the same name twice panics: it is a programming error.
+func RegisterOp(name string, fn OpFunc) {
+	if name == "" || fn == nil {
+		panic("cluster: RegisterOp requires a name and a function")
+	}
+	opMu.Lock()
+	defer opMu.Unlock()
+	if _, dup := opReg[name]; dup {
+		panic(fmt.Sprintf("cluster: op %q registered twice", name))
+	}
+	opReg[name] = fn
+}
+
+// LookupOp returns the registered op, or an error naming the known ops.
+func LookupOp(name string) (OpFunc, error) {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	if fn, ok := opReg[name]; ok {
+		return fn, nil
+	}
+	known := make([]string, 0, len(opReg))
+	for k := range opReg {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("cluster: unknown op %q (registered: %v)", name, known)
+}

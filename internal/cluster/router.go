@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Router is the single consumer of a Cluster's merged result stream. Callers
+// register a destination channel per task id before submitting the task;
+// results for unregistered ids are counted and dropped (they can only arise
+// from abandoned computations). The router lets the synchronous RDD actions
+// and the asynchronous ASYNC engine share one cluster without stealing each
+// other's results.
+type Router struct {
+	mu      sync.Mutex
+	routes  map[int64]chan<- *Result
+	dropped atomic.Int64
+	stopped chan struct{}
+}
+
+// Router returns the cluster's router, starting its consume loop on first
+// use. After calling this, do not read Cluster.Results directly.
+func (c *Cluster) Router() *Router {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.router == nil {
+		c.router = &Router{routes: map[int64]chan<- *Result{}, stopped: make(chan struct{})}
+		go c.router.run(c.results)
+	}
+	return c.router
+}
+
+func (r *Router) run(results <-chan *Result) {
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case res := <-results:
+			r.mu.Lock()
+			ch := r.routes[res.TaskID]
+			delete(r.routes, res.TaskID)
+			r.mu.Unlock()
+			if ch == nil {
+				r.dropped.Add(1)
+				continue
+			}
+			ch <- res
+		}
+	}
+}
+
+// Route registers the destination for one task id. Each id is delivered at
+// most once and the route is consumed on delivery. The destination channel
+// must have capacity for the result (the router never blocks the stream on
+// an unbuffered channel by contract, not enforcement).
+func (r *Router) Route(id int64, ch chan<- *Result) {
+	r.mu.Lock()
+	r.routes[id] = ch
+	r.mu.Unlock()
+}
+
+// Unroute abandons a pending task's route (e.g. its worker died). A result
+// arriving afterwards is dropped.
+func (r *Router) Unroute(id int64) {
+	r.mu.Lock()
+	delete(r.routes, id)
+	r.mu.Unlock()
+}
+
+// Dropped reports how many results arrived with no registered route.
+func (r *Router) Dropped() int64 { return r.dropped.Load() }
+
+// Stop terminates the router loop (tests only; normally the router lives as
+// long as the cluster).
+func (r *Router) Stop() {
+	select {
+	case <-r.stopped:
+	default:
+		close(r.stopped)
+	}
+}

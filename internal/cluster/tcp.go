@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/straggler"
+)
+
+// gobEndpoint carries protocol messages over a stream connection using
+// encoding/gob. Sends are serialized by a mutex; receives happen from a
+// single loop per endpoint, matching the Endpoint contract.
+type gobEndpoint struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+
+	closeOnce sync.Once
+}
+
+// NewGobEndpoint wraps a connection in the message protocol.
+func NewGobEndpoint(conn net.Conn) Endpoint {
+	return &gobEndpoint{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (e *gobEndpoint) Send(m Message) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if err := e.enc.Encode(&m); err != nil {
+		return fmt.Errorf("cluster: gob send: %w", err)
+	}
+	return nil
+}
+
+func (e *gobEndpoint) Recv() (Message, error) {
+	var m Message
+	if err := e.dec.Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("cluster: gob recv: %w", err)
+	}
+	return m, nil
+}
+
+func (e *gobEndpoint) Close() error {
+	var err error
+	e.closeOnce.Do(func() { err = e.conn.Close() })
+	return err
+}
+
+// ListenTCP starts a server listener and accepts exactly numWorkers worker
+// connections; each must open with a Hello naming a distinct worker id in
+// [0, numWorkers). It returns the assembled Cluster.
+func ListenTCP(addr string, numWorkers int) (*Cluster, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	c, err := ServeTCP(ln, numWorkers)
+	if err != nil {
+		_ = ln.Close()
+		return nil, nil, err
+	}
+	return c, ln, nil
+}
+
+// ServeTCP accepts exactly numWorkers worker connections on an existing
+// listener and assembles the Cluster. Connections that fail the handshake
+// (bad hello, duplicate or out-of-range id) are dropped and the slot stays
+// open for a retry.
+func ServeTCP(ln net.Listener, numWorkers int) (*Cluster, error) {
+	RegisterGobTypes()
+	if numWorkers <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive worker count %d", numWorkers)
+	}
+	c := newCluster()
+	seen := map[int]bool{}
+	for len(seen) < numWorkers {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: accept: %w", err)
+		}
+		ep := NewGobEndpoint(conn)
+		m, err := ep.Recv()
+		if err != nil || m.Kind != KindHello || m.Hello == nil {
+			_ = ep.Close()
+			continue
+		}
+		id := m.Hello.Worker
+		if id < 0 || id >= numWorkers || seen[id] {
+			_ = ep.Close()
+			continue
+		}
+		seen[id] = true
+		c.addWorker(id, ep)
+	}
+	return c, nil
+}
+
+// DialWorkerTCP connects a worker process to the server and runs its
+// executor loop until shutdown. It blocks for the lifetime of the worker.
+func DialWorkerTCP(addr string, id int, delay straggler.Model, seed int64) error {
+	RegisterGobTypes()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	ep := NewGobEndpoint(conn)
+	w := NewWorker(id, ep, delay, seed)
+	defer ep.Close()
+	return w.Run()
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/la"
+	"repro/internal/straggler"
+)
+
+// tcpArgs / tcpReply are the payload types shipped over the wire in these
+// tests; they are gob-registered like any real op payload would be.
+type tcpArgs struct {
+	Scale float64
+}
+
+type tcpReply struct {
+	Rows int
+	Sum  float64
+}
+
+func init() {
+	gob.Register(tcpArgs{})
+	gob.Register(tcpReply{})
+	gob.Register(la.Vec{})
+	RegisterOp("test.tcpSum", func(env *Env, t *Task) (any, error) {
+		p, err := env.Partition(t.Partition)
+		if err != nil {
+			return nil, err
+		}
+		a := t.Args.(tcpArgs)
+		var sum float64
+		for _, y := range p.Y {
+			sum += y * a.Scale
+		}
+		return tcpReply{Rows: p.NumRows(), Sum: sum}, nil
+	})
+	RegisterOp("test.tcpBroadcastNorm", func(env *Env, t *Task) (any, error) {
+		v, err := env.BroadcastValue("model", t.Args.(int64))
+		if err != nil {
+			return nil, err
+		}
+		return la.Norm2(v.(la.Vec)), nil
+	})
+}
+
+func startTCPCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	type res struct {
+		c   *Cluster
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ServeTCP(ln, n)
+		ch <- res{c, err}
+	}()
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			_ = DialWorkerTCP(addr, id, straggler.None{}, int64(id))
+		}(i)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		t.Cleanup(func() {
+			r.c.Shutdown()
+			_ = ln.Close()
+		})
+		return r.c
+	case <-time.After(10 * time.Second):
+		t.Fatal("TCP cluster assembly timed out")
+		return nil
+	}
+}
+
+func TestTCPClusterOpTask(t *testing.T) {
+	c := startTCPCluster(t, 2)
+	for w := 0; w < 2; w++ {
+		p := tinyPartition(t, w)
+		if err := c.Install(w, p, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 2; w++ {
+		task := &Task{ID: c.NextTaskID(), Op: "test.tcpSum", Args: tcpArgs{Scale: 2}, Partition: w}
+		if err := c.Submit(w, task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		r := awaitResult(t, c)
+		if r.Failed() {
+			t.Fatalf("tcp task failed: %s", r.Err)
+		}
+		rep, ok := r.Payload.(tcpReply)
+		if !ok {
+			t.Fatalf("payload type %T", r.Payload)
+		}
+		if rep.Rows == 0 {
+			t.Fatal("empty partition over TCP")
+		}
+	}
+}
+
+func TestTCPClusterFetchPath(t *testing.T) {
+	c := startTCPCluster(t, 1)
+	model := la.Vec{3, 4}
+	c.SetFetchHandler(func(id string, ver int64) (any, error) {
+		return model, nil
+	})
+	task := &Task{ID: c.NextTaskID(), Op: "test.tcpBroadcastNorm", Args: int64(5)}
+	if err := c.Submit(0, task); err != nil {
+		t.Fatal(err)
+	}
+	r := awaitResult(t, c)
+	if r.Failed() {
+		t.Fatalf("fetch over TCP failed: %s", r.Err)
+	}
+	if got := r.Payload.(float64); got != 5 {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+}
+
+func TestTCPClusterPush(t *testing.T) {
+	c := startTCPCluster(t, 1)
+	c.PushAll("model", 9, la.Vec{6, 8})
+	time.Sleep(50 * time.Millisecond) // let the push land
+	task := &Task{ID: c.NextTaskID(), Op: "test.tcpBroadcastNorm", Args: int64(9)}
+	if err := c.Submit(0, task); err != nil {
+		t.Fatal(err)
+	}
+	r := awaitResult(t, c)
+	if r.Failed() {
+		t.Fatalf("pushed broadcast not visible: %s", r.Err)
+	}
+	if got := r.Payload.(float64); got != 10 {
+		t.Fatalf("norm = %v, want 10", got)
+	}
+}

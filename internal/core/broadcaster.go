@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// DynBroadcast is the handle returned by ASYNCbroadcast (§4.3): a broadcast
+// id plus the version assigned to the value. Re-broadcasting a new value
+// under the same id ships only the (id, version) pair inside tasks; workers
+// pull the value at most once per version and keep prior versions in their
+// local cache, which is what makes historical-gradient methods (SAGA/ASAGA)
+// communication-efficient.
+type DynBroadcast struct {
+	ID      string
+	Version int64
+}
+
+// ASYNCbroadcast registers value under id with a fresh version on the
+// driver. Nothing is pushed: workers resolve (id, version) lazily through
+// the fetch path and cache it. This is the ASYNCbroadcaster's driver half.
+func (ac *Context) ASYNCbroadcast(id string, value any) DynBroadcast {
+	b := ac.rctx.BroadcastQuiet(id, value)
+	return DynBroadcast{ID: id, Version: b.Version}
+}
+
+// ASYNCbroadcastEager additionally pushes the value to all live workers,
+// trading bandwidth for first-use latency (Spark-style eager broadcast with
+// ASYNC versioning).
+func (ac *Context) ASYNCbroadcastEager(id string, value any) DynBroadcast {
+	b := ac.rctx.BroadcastQuiet(id, value)
+	ac.rctx.Cluster().PushAll(id, b.Version, value)
+	return DynBroadcast{ID: id, Version: b.Version}
+}
+
+// Value resolves the broadcast's current value on a worker (w_br.value in
+// Algorithms 2 and 4).
+func (b DynBroadcast) Value(env *cluster.Env) (any, error) {
+	return env.BroadcastValue(b.ID, b.Version)
+}
+
+// historyTable records, per broadcast id, the version each sample index
+// last used — the worker half of historical gradients. Partitions are
+// pinned to workers, so each worker owns the table shard for its samples.
+type historyTable struct {
+	mu   sync.Mutex
+	vers map[int]int64 // global sample index → broadcast version
+}
+
+func historyKey(id string) string { return "core.history." + id }
+
+func getHistory(env *cluster.Env, id string) *historyTable {
+	return env.StoreGetOrCreate(historyKey(id), func() any {
+		return &historyTable{vers: map[int]int64{}}
+	}).(*historyTable)
+}
+
+// ValueAt resolves the broadcast value recorded for sample index
+// (w_br.value(index) in Algorithm 4). If the sample has no recorded
+// version yet, def is used (SAGA initializes history at w₀).
+func (b DynBroadcast) ValueAt(env *cluster.Env, index int, def int64) (any, int64, error) {
+	h := getHistory(env, b.ID)
+	h.mu.Lock()
+	ver, ok := h.vers[index]
+	h.mu.Unlock()
+	if !ok {
+		ver = def
+	}
+	if ver <= 0 {
+		return nil, 0, fmt.Errorf("core: sample %d has no recorded version and no default", index)
+	}
+	v, err := env.BroadcastValue(b.ID, ver)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, ver, nil
+}
+
+// TryValueAt resolves the broadcast value recorded for sample index,
+// reporting ok=false when the sample has never been recorded (SAGA treats
+// such samples as having zero historical gradient).
+func (b DynBroadcast) TryValueAt(env *cluster.Env, index int) (any, bool, error) {
+	h := getHistory(env, b.ID)
+	h.mu.Lock()
+	ver, ok := h.vers[index]
+	h.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := env.BroadcastValue(b.ID, ver)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Record stores the broadcast version just used for sample index, to be
+// read back by the next ValueAt for that sample.
+func (b DynBroadcast) Record(env *cluster.Env, index int) {
+	h := getHistory(env, b.ID)
+	h.mu.Lock()
+	h.vers[index] = b.Version
+	h.mu.Unlock()
+}
+
+// RecordedVersion reports the version recorded for a sample (testing and
+// diagnostics).
+func (b DynBroadcast) RecordedVersion(env *cluster.Env, index int) (int64, bool) {
+	h := getHistory(env, b.ID)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.vers[index]
+	return v, ok
+}

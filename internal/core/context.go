@@ -1,0 +1,254 @@
+package core
+
+import (
+	"encoding/gob"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rdd"
+)
+
+// Context is the Asynchronous Context (AC), the entry point to ASYNC (§5.1).
+// Create it once per application on top of an rdd.Context; the
+// ASYNCscheduler, ASYNCbroadcaster and ASYNCcoordinator communicate through
+// it, and workers deposit results and attributes into its bookkeeping
+// structures.
+type Context struct {
+	rctx  *rdd.Context
+	coord *Coordinator
+	sched *scheduler
+
+	// BarrierTimeout bounds ASYNCbarrier blocking (0 = default 30s).
+	BarrierTimeout time.Duration
+}
+
+// New creates the ASYNC context over a driver context.
+func New(rctx *rdd.Context) *Context {
+	co := newCoordinator(rctx.Cluster())
+	return &Context{rctx: rctx, coord: co, sched: &scheduler{coord: co}}
+}
+
+// RDD exposes the underlying driver context.
+func (ac *Context) RDD() *rdd.Context { return ac.rctx }
+
+// Coordinator exposes the ASYNCcoordinator (metrics access).
+func (ac *Context) Coordinator() *Coordinator { return ac.coord }
+
+// Close shuts down the coordinator loop (the cluster itself is owned by the
+// caller).
+func (ac *Context) Close() { ac.coord.Close() }
+
+// STAT snapshots the worker status table (AC.STAT in Table 1).
+func (ac *Context) STAT() Stat { return ac.coord.Stat() }
+
+// HasNext reports whether a task result is waiting (AC.hasNext).
+func (ac *Context) HasNext() bool { return ac.coord.HasNext() }
+
+// Pending counts in-flight tasks.
+func (ac *Context) Pending() int { return ac.coord.Pending() }
+
+// AdvanceClock increments the model-update logical clock; drivers call it
+// once per parameter update so staleness bookkeeping is meaningful.
+func (ac *Context) AdvanceClock() int64 { return ac.coord.AdvanceClock() }
+
+// Updates reads the logical clock.
+func (ac *Context) Updates() int64 { return ac.coord.Updates() }
+
+// ASYNCcollect pops the oldest task result payload in FIFO order,
+// blocking until one arrives.
+func (ac *Context) ASYNCcollect() (any, error) {
+	tr, err := ac.coord.Collect(0)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Payload, nil
+}
+
+// ASYNCcollectAll pops the oldest task result together with its attributes
+// (worker id, staleness, mini-batch size, timings).
+func (ac *Context) ASYNCcollectAll() (TaskResult, error) {
+	return ac.coord.Collect(0)
+}
+
+// ASYNCcollectTimeout is ASYNCcollectAll with a deadline: it fails if no
+// result becomes available within the timeout (useful for drivers that
+// interleave collection with other work).
+func (ac *Context) ASYNCcollectTimeout(timeout time.Duration) (TaskResult, error) {
+	return ac.coord.Collect(timeout)
+}
+
+// ASYNCbarrier blocks until the barrier predicate over STAT holds and at
+// least one available worker passes the filter, then reserves those workers
+// for dispatch. Pass nil filter to take every available worker. This is the
+// ASYNCbarrier transformation of Table 1: the returned Selection is the
+// "RDD of workers that satisfy f".
+func (ac *Context) ASYNCbarrier(f BarrierFunc, filter WorkerFilter) (*Selection, error) {
+	chosen, err := ac.sched.await(f, filter, ac.BarrierTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Selection{Workers: chosen, ac: ac}, nil
+}
+
+// Kernel computes one worker's locally reduced partial over the partitions
+// it owns. It returns the partial value and the number of samples
+// processed (the mini-batch size recorded in the result attributes).
+type Kernel func(env *cluster.Env, parts []int, seed int64) (value any, batch int, err error)
+
+// ReducePayload wraps an ASYNCreduce partial for transport; the coordinator
+// unwraps it when tagging attributes. Registered ops that participate in
+// remote ASYNCreduceOp dispatch return it directly.
+type ReducePayload struct {
+	Val   any
+	N     int
+	Empty bool
+}
+
+// BatchSize implements BatchSized.
+func (k ReducePayload) BatchSize() int { return k.N }
+
+func init() {
+	gob.Register(ReducePayload{})
+}
+
+// ASYNCreduce dispatches one task per selected worker, computing the kernel
+// over the worker's partitions with a local (worker-side) reduction, and
+// returns immediately: results arrive in the AC queue as workers finish.
+// This is the ASYNCreduce action of Table 1 — it differs from Spark's
+// reduce exactly as §5.1 describes (per-worker execution, immediate
+// return). It returns the number of tasks actually dispatched; workers that
+// died between selection and dispatch are skipped.
+func (ac *Context) ASYNCreduce(sel *Selection, k Kernel) (int, error) {
+	if sel == nil || sel.used {
+		return 0, nil
+	}
+	sel.used = true
+	c := ac.rctx.Cluster()
+	router := c.Router()
+	dispatched := 0
+	for _, w := range sel.Workers {
+		parts := ac.rctx.PartitionsOn(w)
+		if len(parts) == 0 {
+			ac.coord.release([]int{w})
+			continue
+		}
+		t := &cluster.Task{
+			ID:       c.NextTaskID(),
+			Seed:     c.NextTaskID()*1_000_003 + int64(w),
+			Dispatch: ac.coord.Updates(),
+		}
+		kern := k
+		t.SetFunc(func(env *cluster.Env, tk *cluster.Task) (any, error) {
+			v, n, err := kern(env, parts, tk.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return ReducePayload{Val: v, N: n, Empty: n == 0 && v == nil}, nil
+		})
+		router.Route(t.ID, ac.coord.results)
+		ac.coord.noteDispatch(w, t.ID, t.Dispatch)
+		if err := c.Submit(w, t); err != nil {
+			ac.coord.undoDispatch(w, t.ID)
+			router.Unroute(t.ID)
+			ac.coord.release([]int{w})
+			continue
+		}
+		dispatched++
+	}
+	return dispatched, nil
+}
+
+// ASYNCreduceOp is the remote-capable flavour of ASYNCreduce: instead of an
+// in-process kernel it dispatches a registered op (see cluster.RegisterOp)
+// whose args are built per worker by argsFor — everything crossing the wire
+// is serializable, so this path works over the TCP transport. The op must
+// return a ReducePayload.
+func (ac *Context) ASYNCreduceOp(sel *Selection, op string, argsFor func(worker int, parts []int) any) (int, error) {
+	if sel == nil || sel.used {
+		return 0, nil
+	}
+	sel.used = true
+	c := ac.rctx.Cluster()
+	router := c.Router()
+	dispatched := 0
+	for _, w := range sel.Workers {
+		parts := ac.rctx.PartitionsOn(w)
+		if len(parts) == 0 {
+			ac.coord.release([]int{w})
+			continue
+		}
+		t := &cluster.Task{
+			ID:       c.NextTaskID(),
+			Op:       op,
+			Args:     argsFor(w, parts),
+			Seed:     c.NextTaskID()*1_000_003 + int64(w),
+			Dispatch: ac.coord.Updates(),
+		}
+		router.Route(t.ID, ac.coord.results)
+		ac.coord.noteDispatch(w, t.ID, t.Dispatch)
+		if err := c.Submit(w, t); err != nil {
+			ac.coord.undoDispatch(w, t.ID)
+			router.Unroute(t.ID)
+			ac.coord.release([]int{w})
+			continue
+		}
+		dispatched++
+	}
+	return dispatched, nil
+}
+
+// ASYNCreduceRDD runs the paper's Algorithm 2 dispatch chain over an RDD:
+// each selected worker computes the RDD's lineage on its partitions
+// (sample/map transformations included), reduces locally with combine, and
+// submits the partial asynchronously. Top-level function because Go methods
+// cannot introduce type parameters.
+func ASYNCreduceRDD[T any](ac *Context, r *rdd.RDD[T], combine func(T, T) T, sel *Selection) (int, error) {
+	compute := r.Compute()
+	return ac.ASYNCreduce(sel, func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		var acc T
+		seen := false
+		n := 0
+		for _, p := range parts {
+			vals, err := compute(env, p, seed+int64(p))
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, v := range vals {
+				if !seen {
+					acc, seen = v, true
+				} else {
+					acc = combine(acc, v)
+				}
+			}
+			n += len(vals)
+		}
+		if !seen {
+			return nil, 0, nil
+		}
+		return acc, n, nil
+	})
+}
+
+// ASYNCaggregate is the aggregate flavour of Table 1: per-worker fold with
+// a zero value and seqOp, combined locally with combOp across the worker's
+// partitions, submitted asynchronously.
+func ASYNCaggregate[T, U any](ac *Context, r *rdd.RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U) U, sel *Selection) (int, error) {
+	compute := r.Compute()
+	return ac.ASYNCreduce(sel, func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		acc := zero
+		n := 0
+		for _, p := range parts {
+			vals, err := compute(env, p, seed+int64(p))
+			if err != nil {
+				return nil, 0, err
+			}
+			local := zero
+			for _, v := range vals {
+				local = seqOp(local, v)
+			}
+			acc = combOp(acc, local)
+			n += len(vals)
+		}
+		return acc, n, nil
+	})
+}

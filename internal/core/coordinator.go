@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ErrNoWorkers is returned when a barrier can never be satisfied because no
+// live workers remain.
+var ErrNoWorkers = errors.New("core: no live workers")
+
+// ErrBarrierTimeout is returned when a barrier predicate stays false past
+// the configured timeout.
+var ErrBarrierTimeout = errors.New("core: barrier timed out")
+
+// workerState is the coordinator's internal per-worker record.
+type workerState struct {
+	alive     bool
+	available bool
+	dispatch  int64 // logical clock when current/last task was dispatched
+	lastStale int64 // staleness of the last completed task
+	totalTime time.Duration
+	completed int64
+	inflight  int64 // task id in flight (0 = none)
+}
+
+// Coordinator is the ASYNCcoordinator (§4.2): it consumes worker results,
+// tags them with worker attributes, maintains the STAT table and the FIFO
+// result queue, and wakes barrier waiters when the system state changes.
+type Coordinator struct {
+	c *cluster.Cluster
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[int]*workerState
+	queue   []TaskResult
+	updates int64
+	pending int
+	closed  bool
+
+	results chan *cluster.Result
+	done    chan struct{}
+
+	// waitSamples accumulate the per-worker wait-time metric (Fig. 4/6).
+	waitTotal map[int]time.Duration
+	waitCount map[int]int64
+
+	// staleHist counts collected results by staleness value — the
+	// distribution staleness-aware methods reason about.
+	staleHist map[int64]int64
+}
+
+// newCoordinator starts the coordinator loop over the cluster's router.
+func newCoordinator(c *cluster.Cluster) *Coordinator {
+	co := &Coordinator{
+		c:         c,
+		workers:   map[int]*workerState{},
+		results:   make(chan *cluster.Result, 4096),
+		done:      make(chan struct{}),
+		waitTotal: map[int]time.Duration{},
+		waitCount: map[int]int64{},
+		staleHist: map[int64]int64{},
+	}
+	co.cond = sync.NewCond(&co.mu)
+	for _, w := range c.AliveWorkers() {
+		co.workers[w] = &workerState{alive: true, available: true}
+	}
+	go co.loop()
+	return co
+}
+
+// loop consumes routed results and runs the liveness sweeper.
+func (co *Coordinator) loop() {
+	liveness := time.NewTicker(50 * time.Millisecond)
+	defer liveness.Stop()
+	for {
+		select {
+		case <-co.done:
+			return
+		case r := <-co.results:
+			co.ingest(r)
+		case <-liveness.C:
+			co.sweep()
+		}
+	}
+}
+
+// ingest tags a result with worker attributes and appends it to the queue.
+func (co *Coordinator) ingest(r *cluster.Result) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := co.workers[r.Worker]
+	if ws == nil {
+		return
+	}
+	staleness := co.updates - r.Dispatch
+	ws.available = true
+	ws.inflight = 0
+	ws.lastStale = staleness
+	ws.totalTime += r.ComputeTime
+	ws.completed++
+	co.pending--
+	co.waitTotal[r.Worker] += r.WaitTime
+	co.waitCount[r.Worker]++
+	co.staleHist[staleness]++
+	if !r.Failed() {
+		attrs := Attrs{
+			Worker:    r.Worker,
+			Staleness: staleness,
+			Iteration: r.Dispatch,
+			Compute:   r.ComputeTime,
+			Wait:      r.WaitTime,
+		}
+		payload := r.Payload
+		skip := false
+		if kp, ok := payload.(ReducePayload); ok {
+			// unwrap ASYNCreduce partials; empty partials (a sample that
+			// selected zero rows) produce no queue entry
+			payload = kp.Val
+			attrs.MiniBatch = kp.N
+			skip = kp.Empty
+		} else if b, ok := payload.(BatchSized); ok {
+			attrs.MiniBatch = b.BatchSize()
+		}
+		if !skip {
+			co.queue = append(co.queue, TaskResult{Payload: payload, Attrs: attrs})
+		}
+	}
+	co.cond.Broadcast()
+}
+
+// sweep reconciles the worker table with cluster liveness: dead workers are
+// marked and their in-flight slots released (so barriers and pending counts
+// cannot hang on a crash), and workers added to the cluster after startup —
+// elastic scale-out — are discovered and become schedulable.
+func (co *Coordinator) sweep() {
+	alive := co.c.AliveWorkers()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	changed := false
+	liveSet := make(map[int]bool, len(alive))
+	for _, w := range alive {
+		liveSet[w] = true
+		if co.workers[w] == nil {
+			co.workers[w] = &workerState{alive: true, available: true}
+			changed = true
+		}
+	}
+	for w, ws := range co.workers {
+		if ws.alive && !liveSet[w] {
+			ws.alive = false
+			ws.available = false
+			if ws.inflight != 0 {
+				ws.inflight = 0
+				co.pending--
+			}
+			changed = true
+		}
+	}
+	if changed {
+		co.cond.Broadcast()
+	}
+}
+
+// StalenessHistogram snapshots the distribution of result staleness values
+// observed so far (staleness → count).
+func (co *Coordinator) StalenessHistogram() map[int64]int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make(map[int64]int64, len(co.staleHist))
+	for k, v := range co.staleHist {
+		out[k] = v
+	}
+	return out
+}
+
+// noteDispatch records that a task is about to be sent to a worker. It MUST
+// run before the actual Submit: a fast worker's result can otherwise be
+// ingested before the dispatch is recorded, leaving a phantom in-flight
+// entry that blocks BSP/SSP barriers forever.
+func (co *Coordinator) noteDispatch(worker int, taskID, clock int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := co.workers[worker]
+	if ws == nil {
+		return
+	}
+	ws.available = false
+	ws.dispatch = clock
+	ws.inflight = taskID
+	co.pending++
+	co.cond.Broadcast()
+}
+
+// undoDispatch rolls back a noteDispatch whose Submit failed.
+func (co *Coordinator) undoDispatch(worker int, taskID int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := co.workers[worker]
+	if ws == nil {
+		return
+	}
+	if ws.inflight == taskID {
+		ws.inflight = 0
+		co.pending--
+	}
+	co.cond.Broadcast()
+}
+
+// reserve marks workers unavailable ahead of dispatch (barrier selection).
+func (co *Coordinator) reserve(workers []int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, w := range workers {
+		if ws := co.workers[w]; ws != nil {
+			ws.available = false
+		}
+	}
+}
+
+// release undoes a reservation that was never dispatched.
+func (co *Coordinator) release(workers []int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, w := range workers {
+		if ws := co.workers[w]; ws != nil && ws.inflight == 0 && ws.alive {
+			ws.available = true
+		}
+	}
+	co.cond.Broadcast()
+}
+
+// statLocked builds the Stat snapshot; callers hold co.mu.
+func (co *Coordinator) statLocked() Stat {
+	s := Stat{Updates: co.updates, Pending: co.pending}
+	for w, ws := range co.workers {
+		stale := ws.lastStale
+		if ws.inflight != 0 {
+			stale = co.updates - ws.dispatch
+		}
+		row := WorkerStat{
+			Worker:         w,
+			Alive:          ws.alive,
+			Available:      ws.available,
+			Staleness:      stale,
+			TasksCompleted: ws.completed,
+		}
+		if ws.completed > 0 {
+			row.AvgTaskTime = ws.totalTime / time.Duration(ws.completed)
+		}
+		s.Workers = append(s.Workers, row)
+		if ws.alive {
+			s.AliveWorkers++
+			if ws.available {
+				s.AvailableWorkers++
+			}
+			// only in-flight work counts toward MaxStaleness: an idle
+			// worker holds no stale computation, so SSP must not block
+			// on its last completed task forever
+			if ws.inflight != 0 && stale > s.MaxStaleness {
+				s.MaxStaleness = stale
+			}
+		}
+	}
+	// deterministic order for callers that index by position
+	for i := 1; i < len(s.Workers); i++ {
+		for j := i; j > 0 && s.Workers[j].Worker < s.Workers[j-1].Worker; j-- {
+			s.Workers[j], s.Workers[j-1] = s.Workers[j-1], s.Workers[j]
+		}
+	}
+	return s
+}
+
+// Stat snapshots the STAT table.
+func (co *Coordinator) Stat() Stat {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.statLocked()
+}
+
+// AdvanceClock increments the server's logical update clock: call it once
+// per model-parameter update.
+func (co *Coordinator) AdvanceClock() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.updates++
+	co.cond.Broadcast()
+	return co.updates
+}
+
+// Updates reads the logical clock.
+func (co *Coordinator) Updates() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.updates
+}
+
+// HasNext reports whether a task result is queued (AC.hasNext in Table 1).
+func (co *Coordinator) HasNext() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.queue) > 0
+}
+
+// Pending counts in-flight tasks.
+func (co *Coordinator) Pending() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.pending
+}
+
+// Collect pops the oldest task result, blocking until one is available or
+// timeout elapses (0 = block indefinitely while work is possible). It fails
+// with ErrNoWorkers when nothing is queued, nothing is in flight, and no
+// workers remain.
+func (co *Coordinator) Collect(timeout time.Duration) (TaskResult, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// wake the cond when the deadline passes so Wait can observe it
+		timer := time.AfterFunc(timeout, func() {
+			co.mu.Lock()
+			co.cond.Broadcast()
+			co.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for len(co.queue) == 0 {
+		if co.closed {
+			return TaskResult{}, errors.New("core: coordinator closed")
+		}
+		if co.pending == 0 {
+			return TaskResult{}, fmt.Errorf("core: collect with no results and no tasks in flight")
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return TaskResult{}, fmt.Errorf("core: collect timed out after %v", timeout)
+		}
+		co.cond.Wait()
+	}
+	tr := co.queue[0]
+	co.queue = co.queue[1:]
+	return tr, nil
+}
+
+// WaitTimes reports each worker's average wait time between tasks — the
+// metric behind the paper's Fig. 4, Fig. 6 and Table 3.
+func (co *Coordinator) WaitTimes() map[int]time.Duration {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := map[int]time.Duration{}
+	for w, total := range co.waitTotal {
+		if n := co.waitCount[w]; n > 0 {
+			out[w] = total / time.Duration(n)
+		}
+	}
+	return out
+}
+
+// Close stops the coordinator loop.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	if !co.closed {
+		co.closed = true
+		close(co.done)
+	}
+	co.cond.Broadcast()
+	co.mu.Unlock()
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/straggler"
+)
+
+// TestElasticWorkerJoins grows the cluster mid-session: the coordinator's
+// sweeper must discover the new worker, barriers must select it once it
+// owns partitions, and it must complete tasks.
+func TestElasticWorkerJoins(t *testing.T) {
+	ac, _ := setup(t, 2, 4, nil)
+	c := ac.RDD().Cluster()
+	id := c.AddLocalWorker(straggler.None{}, 99)
+	if id != 2 {
+		t.Fatalf("new worker id %d, want 2", id)
+	}
+	// wait for the sweeper (50ms period) to register it
+	deadline := time.Now().Add(3 * time.Second)
+	for ac.STAT().AliveWorkers != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("new worker never discovered: %+v", ac.STAT())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// move a partition onto it so it can receive reduce work
+	if err := ac.RDD().MovePartition(0, id); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := ac.RDD().WorkerFor(0); w != id {
+		t.Fatalf("partition 0 on worker %d, want %d", w, id)
+	}
+	// run a BSP round: all three workers (incl. the new one) must report
+	sel, err := ac.ASYNCbarrier(BSP(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Workers) != 3 {
+		t.Fatalf("BSP selected %v", sel.Workers)
+	}
+	n, err := ac.ASYNCreduce(sel, countKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("dispatched %d", n)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		tr, err := ac.ASYNCcollectAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[tr.Attrs.Worker] = true
+	}
+	if !seen[id] {
+		t.Fatalf("new worker produced no result: %v", seen)
+	}
+}
+
+// TestMovePartitionContent: after a move, tasks on the new owner see the
+// same rows.
+func TestMovePartitionContent(t *testing.T) {
+	ac, _ := setup(t, 2, 2, nil)
+	before := partRows(t, ac, 0)
+	if err := ac.RDD().MovePartition(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := partRows(t, ac, 0)
+	if before != after {
+		t.Fatalf("partition changed size on move: %d → %d", before, after)
+	}
+	// moving to the same worker is a no-op
+	if err := ac.RDD().MovePartition(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.RDD().MovePartition(99, 1); err == nil {
+		t.Fatal("moving unknown partition succeeded")
+	}
+}
+
+func partRows(t *testing.T, ac *Context, part int) int {
+	t.Helper()
+	w, err := ac.RDD().WorkerFor(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ac.RDD().Cluster()
+	router := c.Router()
+	ch := make(chan *cluster.Result, 1)
+	tk := &cluster.Task{ID: c.NextTaskID(), Partition: part}
+	tk.SetFunc(func(env *cluster.Env, task *cluster.Task) (any, error) {
+		p, err := env.Partition(task.Partition)
+		if err != nil {
+			return nil, err
+		}
+		return p.NumRows(), nil
+	})
+	router.Route(tk.ID, ch)
+	if err := c.Submit(w, tk); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Failed() {
+		t.Fatal(r.Err)
+	}
+	return r.Payload.(int)
+}
+
+// TestStalenessHistogram: the coordinator aggregates staleness counts.
+func TestStalenessHistogram(t *testing.T) {
+	ac, _ := setup(t, 2, 2, nil)
+	for round := 0; round < 3; round++ {
+		sel, err := ac.ASYNCbarrier(BSP(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ac.ASYNCreduce(sel, countKernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := ac.ASYNCcollect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ac.AdvanceClock()
+	}
+	hist := ac.Coordinator().StalenessHistogram()
+	var total int64
+	for stale, count := range hist {
+		if stale < 0 || count <= 0 {
+			t.Fatalf("bad histogram entry %d:%d", stale, count)
+		}
+		total += count
+	}
+	if total != 6 { // 3 rounds × 2 workers
+		t.Fatalf("histogram total %d, want 6", total)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// statInvariants checks the structural invariants every STAT snapshot must
+// satisfy.
+func statInvariants(t *testing.T, s Stat) {
+	t.Helper()
+	if s.AvailableWorkers > s.AliveWorkers {
+		t.Fatalf("available %d > alive %d", s.AvailableWorkers, s.AliveWorkers)
+	}
+	if s.AliveWorkers > len(s.Workers) {
+		t.Fatalf("alive %d > workers %d", s.AliveWorkers, len(s.Workers))
+	}
+	if s.Pending < 0 {
+		t.Fatalf("negative pending %d", s.Pending)
+	}
+	if s.MaxStaleness < 0 {
+		t.Fatalf("negative staleness %d", s.MaxStaleness)
+	}
+	alive, avail := 0, 0
+	for i, w := range s.Workers {
+		if i > 0 && s.Workers[i-1].Worker >= w.Worker {
+			t.Fatal("workers not strictly sorted")
+		}
+		if w.Alive {
+			alive++
+			if w.Available {
+				avail++
+			}
+		}
+		if w.TasksCompleted < 0 || w.AvgTaskTime < 0 {
+			t.Fatalf("negative counters: %+v", w)
+		}
+	}
+	if alive != s.AliveWorkers || avail != s.AvailableWorkers {
+		t.Fatalf("counts disagree with rows: %d/%d vs %d/%d", alive, avail, s.AliveWorkers, s.AvailableWorkers)
+	}
+}
+
+// TestSTATInvariantsUnderLoad hammers the coordinator from a driver loop
+// while snapshotting STAT concurrently; every snapshot must be consistent.
+func TestSTATInvariantsUnderLoad(t *testing.T) {
+	ac, _ := setup(t, 4, 8, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				statInvariants(t, ac.STAT())
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	kern := func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		time.Sleep(time.Millisecond)
+		return 1, 1, nil
+	}
+	done := 0
+	for done < 60 {
+		sel, err := ac.ASYNCbarrier(ASP(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ac.ASYNCreduce(sel, kern); err != nil {
+			t.Fatal(err)
+		}
+		for first := true; first || ac.HasNext(); first = false {
+			if _, err := ac.ASYNCcollect(); err != nil {
+				break
+			}
+			ac.AdvanceClock()
+			done++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	statInvariants(t, ac.STAT())
+}
+
+// TestStalenessNeverNegative: collected attributes can never report
+// negative staleness (clock only advances).
+func TestStalenessNeverNegative(t *testing.T) {
+	ac, _ := setup(t, 3, 6, nil)
+	for round := 0; round < 10; round++ {
+		sel, err := ac.ASYNCbarrier(ASP(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ac.ASYNCreduce(sel, countKernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			if tr.Attrs.Staleness < 0 {
+				t.Fatalf("negative staleness %d", tr.Attrs.Staleness)
+			}
+			ac.AdvanceClock()
+		}
+	}
+}
+
+// TestFIFOOrder: results are collected in arrival order.
+func TestFIFOOrder(t *testing.T) {
+	ac, _ := setup(t, 1, 1, nil)
+	// single worker executes tasks in submission order, so payloads must
+	// come back FIFO
+	for round := 0; round < 5; round++ {
+		sel, err := ac.ASYNCbarrier(ASP(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := round
+		if _, err := ac.ASYNCreduce(sel, func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+			return r, 1, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ac.ASYNCcollect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.(int) != round {
+			t.Fatalf("out of order: got %v at round %d", p, round)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Monitor exposes the engine's bookkeeping over HTTP as JSON — the
+// observability surface a cloud engine ships with. Endpoints:
+//
+//	GET /stat       the STAT table snapshot
+//	GET /staleness  the staleness histogram
+//	GET /waits      per-worker average wait times (ms)
+//	GET /healthz    liveness summary
+//
+// Mount it on any mux: http.ListenAndServe(addr, ac.Monitor()).
+func (ac *Context) Monitor() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stat", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ac.STAT())
+	})
+	mux.HandleFunc("/staleness", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ac.Coordinator().StalenessHistogram())
+	})
+	mux.HandleFunc("/waits", func(w http.ResponseWriter, r *http.Request) {
+		waits := ac.Coordinator().WaitTimes()
+		out := make(map[int]float64, len(waits))
+		for worker, d := range waits {
+			out[worker] = float64(d.Microseconds()) / 1000.0
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := ac.STAT()
+		writeJSON(w, healthz{
+			Alive:     st.AliveWorkers,
+			Available: st.AvailableWorkers,
+			Pending:   st.Pending,
+			Updates:   st.Updates,
+			Healthy:   st.AliveWorkers > 0,
+			Time:      time.Now().UTC(),
+		})
+	})
+	return mux
+}
+
+type healthz struct {
+	Alive     int       `json:"alive"`
+	Available int       `json:"available"`
+	Pending   int       `json:"pending"`
+	Updates   int64     `json:"updates"`
+	Healthy   bool      `json:"healthy"`
+	Time      time.Time `json:"time"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func getJSON(t *testing.T, h *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s: content type %q", path, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+func TestMonitorEndpoints(t *testing.T) {
+	ac, _ := setup(t, 2, 2, nil)
+	// produce some activity so the histogram and waits are non-trivial
+	for round := 0; round < 2; round++ {
+		sel, err := ac.ASYNCbarrier(BSP(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ac.ASYNCreduce(sel, countKernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := ac.ASYNCcollect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ac.AdvanceClock()
+	}
+	srv := httptest.NewServer(ac.Monitor())
+	defer srv.Close()
+
+	var st Stat
+	getJSON(t, srv, "/stat", &st)
+	if st.AliveWorkers != 2 || len(st.Workers) != 2 {
+		t.Fatalf("/stat: %+v", st)
+	}
+
+	var hz struct {
+		Alive   int   `json:"alive"`
+		Healthy bool  `json:"healthy"`
+		Updates int64 `json:"updates"`
+	}
+	getJSON(t, srv, "/healthz", &hz)
+	if !hz.Healthy || hz.Alive != 2 || hz.Updates != 2 {
+		t.Fatalf("/healthz: %+v", hz)
+	}
+
+	var hist map[string]int64
+	getJSON(t, srv, "/staleness", &hist)
+	var total int64
+	for _, n := range hist {
+		total += n
+	}
+	if total != 4 { // 2 rounds × 2 workers
+		t.Fatalf("/staleness total %d: %v", total, hist)
+	}
+
+	var waits map[string]float64
+	getJSON(t, srv, "/waits", &waits)
+	if len(waits) != 2 {
+		t.Fatalf("/waits: %v", waits)
+	}
+}
+
+func TestMonitorUnhealthyWhenAllDead(t *testing.T) {
+	ac, _ := setup(t, 1, 1, nil)
+	ac.RDD().Cluster().Kill(0)
+	// wait for the sweeper
+	srv := httptest.NewServer(ac.Monitor())
+	defer srv.Close()
+	deadline := 100
+	for {
+		var hz struct {
+			Healthy bool `json:"healthy"`
+		}
+		getJSON(t, srv, "/healthz", &hz)
+		if !hz.Healthy {
+			return
+		}
+		if deadline--; deadline == 0 {
+			t.Fatal("healthz never reported unhealthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

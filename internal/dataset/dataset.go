@@ -1,0 +1,111 @@
+// Package dataset provides the data substrate for the ASYNC reproduction:
+// an in-memory labelled design matrix, LIBSVM-format I/O, contiguous row
+// partitioning (the unit of work shipped to cluster workers), and seeded
+// synthetic generators that stand in for the paper's LIBSVM datasets
+// (rcv1_full.binary, mnist8m, epsilon — Table 2).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// Dataset is a labelled design matrix: row i of X is example i with label Y[i].
+type Dataset struct {
+	Name string
+	X    *la.CSR
+	Y    la.Vec
+}
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if d.X == nil {
+		return fmt.Errorf("dataset %q: nil design matrix", d.Name)
+	}
+	if !d.X.Complete() {
+		return fmt.Errorf("dataset %q: incomplete CSR (%d of %d rows)", d.Name, len(d.X.RowPtr)-1, d.X.NumRows)
+	}
+	if d.X.NumRows != len(d.Y) {
+		return fmt.Errorf("dataset %q: %d rows but %d labels", d.Name, d.X.NumRows, len(d.Y))
+	}
+	return nil
+}
+
+// NumRows returns the number of examples.
+func (d *Dataset) NumRows() int { return d.X.NumRows }
+
+// NumCols returns the feature dimension.
+func (d *Dataset) NumCols() int { return d.X.NumCols }
+
+// Stats summarizes a dataset for Table 2-style reporting.
+type Stats struct {
+	Name    string
+	Rows    int
+	Cols    int
+	NNZ     int
+	Density float64
+	SizeMB  float64 // approximate in-memory size of the CSR + labels
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	nnz := d.X.NNZ()
+	// 8 bytes per value, 4 per column index, 8 per row pointer, 8 per label.
+	bytes := float64(nnz)*12 + float64(len(d.X.RowPtr))*8 + float64(len(d.Y))*8
+	return Stats{
+		Name:    d.Name,
+		Rows:    d.NumRows(),
+		Cols:    d.NumCols(),
+		NNZ:     nnz,
+		Density: d.X.Density(),
+		SizeMB:  bytes / (1 << 20),
+	}
+}
+
+// Partition is a contiguous block of rows of a dataset. RowLo/RowHi are
+// global row indices; they are what SAGA-style history tables key on.
+type Partition struct {
+	Dataset string
+	Index   int
+	RowLo   int // inclusive global row index
+	RowHi   int // exclusive global row index
+	X       *la.CSR
+	Y       la.Vec
+}
+
+// NumRows returns the number of examples in the partition.
+func (p *Partition) NumRows() int { return p.RowHi - p.RowLo }
+
+// GlobalRow converts a local row offset into the global sample index.
+func (p *Partition) GlobalRow(local int) int { return p.RowLo + local }
+
+// Split partitions d into n contiguous row blocks of near-equal size.
+// Storage is copied so partitions can be handed to concurrent workers
+// (and serialized over a real transport) without sharing.
+func Split(d *Dataset, n int) ([]*Partition, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset %q: non-positive partition count %d", d.Name, n)
+	}
+	rows := d.NumRows()
+	if n > rows {
+		return nil, fmt.Errorf("dataset %q: %d partitions for %d rows", d.Name, n, rows)
+	}
+	parts := make([]*Partition, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * rows / n
+		hi := (i + 1) * rows / n
+		parts = append(parts, &Partition{
+			Dataset: d.Name,
+			Index:   i,
+			RowLo:   lo,
+			RowHi:   hi,
+			X:       d.X.SliceRows(lo, hi),
+			Y:       d.Y[lo:hi].Clone(),
+		})
+	}
+	return parts, nil
+}

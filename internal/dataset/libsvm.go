@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/la"
+)
+
+// ReadLIBSVM parses the LIBSVM text format ("label idx:val idx:val ...",
+// 1-based feature indices). If cols <= 0 the feature dimension is inferred
+// from the largest index seen.
+func ReadLIBSVM(r io.Reader, name string, cols int) (*Dataset, error) {
+	type row struct {
+		y   float64
+		idx []int32
+		val []float64
+	}
+	var rows []row
+	maxCol := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		y, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm %q line %d: bad label %q: %v", name, lineNo, fields[0], err)
+		}
+		rw := row{y: y}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("libsvm %q line %d: bad feature %q", name, lineNo, f)
+			}
+			j, err := strconv.Atoi(f[:colon])
+			if err != nil || j < 1 {
+				return nil, fmt.Errorf("libsvm %q line %d: bad feature index %q", name, lineNo, f)
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("libsvm %q line %d: bad feature value %q", name, lineNo, f)
+			}
+			rw.idx = append(rw.idx, int32(j-1))
+			rw.val = append(rw.val, v)
+			if j > maxCol {
+				maxCol = j
+			}
+		}
+		rows = append(rows, rw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("libsvm %q: %v", name, err)
+	}
+	if cols <= 0 {
+		cols = maxCol
+	} else if maxCol > cols {
+		return nil, fmt.Errorf("libsvm %q: feature index %d exceeds declared cols %d", name, maxCol, cols)
+	}
+	x := la.NewCSR(len(rows), cols, 0)
+	y := la.NewVec(len(rows))
+	for i, rw := range rows {
+		// LIBSVM does not require sorted indices; sort defensively.
+		if !sort.SliceIsSorted(rw.idx, func(a, b int) bool { return rw.idx[a] < rw.idx[b] }) {
+			sort.Sort(&pairSorter{rw.idx, rw.val})
+		}
+		sv, err := la.NewSparseVec(cols, rw.idx, rw.val)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm %q row %d: %v", name, i, err)
+		}
+		if err := x.AppendRow(sv); err != nil {
+			return nil, err
+		}
+		y[i] = rw.y
+	}
+	d := &Dataset{Name: name, X: x, Y: y}
+	return d, d.Validate()
+}
+
+type pairSorter struct {
+	idx []int32
+	val []float64
+}
+
+func (p *pairSorter) Len() int           { return len(p.idx) }
+func (p *pairSorter) Less(i, j int) bool { return p.idx[i] < p.idx[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.idx[i], p.idx[j] = p.idx[j], p.idx[i]
+	p.val[i], p.val[j] = p.val[j], p.val[i]
+}
+
+// WriteLIBSVM writes d in LIBSVM text format (1-based indices).
+func WriteLIBSVM(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.NumRows(); i++ {
+		if _, err := fmt.Fprintf(bw, "%g", d.Y[i]); err != nil {
+			return err
+		}
+		r := d.X.Row(i)
+		for k, j := range r.Idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, r.Val[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropSplitPartitionsCoverExactly: for any valid (rows, parts), Split
+// yields contiguous, non-overlapping, complete coverage with sizes within
+// one row of each other.
+func TestPropSplitPartitionsCoverExactly(t *testing.T) {
+	f := func(rowsRaw, partsRaw uint8) bool {
+		rows := int(rowsRaw%120) + 1
+		parts := int(partsRaw)%rows + 1
+		d, err := Generate(SynthConfig{
+			Name: "q", Rows: rows, Cols: 4, NNZPerRow: 2, Seed: int64(rows*31 + parts),
+		})
+		if err != nil {
+			return false
+		}
+		ps, err := Split(d, parts)
+		if err != nil {
+			return false
+		}
+		if len(ps) != parts {
+			return false
+		}
+		prevHi := 0
+		minSize, maxSize := rows, 0
+		for i, p := range ps {
+			if p.Index != i || p.RowLo != prevHi || p.RowHi < p.RowLo {
+				return false
+			}
+			n := p.NumRows()
+			if n < minSize {
+				minSize = n
+			}
+			if n > maxSize {
+				maxSize = n
+			}
+			prevHi = p.RowHi
+		}
+		return prevHi == rows && maxSize-minSize <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropGlobalRowIdentity: GlobalRow is a bijection between local offsets
+// and the partition's global row range.
+func TestPropGlobalRowIdentity(t *testing.T) {
+	d, err := Generate(SynthConfig{Name: "q", Rows: 60, Cols: 4, NNZPerRow: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Split(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range ps {
+		for local := 0; local < p.NumRows(); local++ {
+			g := p.GlobalRow(local)
+			if g < p.RowLo || g >= p.RowHi || seen[g] {
+				t.Fatalf("bad global row %d in partition %d", g, p.Index)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("covered %d rows", len(seen))
+	}
+}

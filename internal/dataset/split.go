@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// TrainTestSplit partitions the rows of d into a training and a test set by
+// a seeded shuffle. testFrac is the fraction of rows held out (0, 1).
+func TrainTestSplit(d *Dataset, testFrac float64, seed int64) (train, test *Dataset, err error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset %q: test fraction %v outside (0,1)", d.Name, testFrac)
+	}
+	n := d.NumRows()
+	nTest := int(testFrac * float64(n))
+	if nTest == 0 || nTest == n {
+		return nil, nil, fmt.Errorf("dataset %q: split %v leaves an empty side (%d rows)", d.Name, testFrac, n)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	build := func(rows []int, suffix string) (*Dataset, error) {
+		x := la.NewCSR(len(rows), d.NumCols(), 0)
+		y := la.NewVec(len(rows))
+		for i, r := range rows {
+			if err := x.AppendRow(d.X.Row(r)); err != nil {
+				return nil, err
+			}
+			y[i] = d.Y[r]
+		}
+		out := &Dataset{Name: d.Name + suffix, X: x, Y: y}
+		return out, out.Validate()
+	}
+	test, err = build(perm[:nTest], "-test")
+	if err != nil {
+		return nil, nil, err
+	}
+	train, err = build(perm[nTest:], "-train")
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

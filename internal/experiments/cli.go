@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteSeriesCSV writes each series as <dir>/<label>.csv ('/' → '_').
+func WriteSeriesCSV(dir string, series []Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range series {
+		name := strings.ReplaceAll(s.Label, "/", "_") + ".csv"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := s.Trace.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IDs lists every experiment id Run accepts, in presentation order.
+func IDs() []string {
+	return []string{
+		"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table3", "ablation-broadcast", "ablation-localreduce",
+		"ablation-barrier", "ablation-staleness",
+		"ext-sspsweep", "ext-staleness-dist",
+	}
+}
+
+// Run executes one experiment by id and writes its output (series and/or
+// tables) to w. It is the engine behind cmd/asyncbench. When o.CSVDir is
+// set, figure series are additionally written there as CSV files.
+func Run(o Options, id string, w io.Writer) error {
+	printSeries := func(series []Series) {
+		for _, s := range series {
+			fmt.Fprintf(w, "--- %s\n%s", s.Label, s.Trace.Format())
+		}
+		if o.CSVDir != "" {
+			if err := WriteSeriesCSV(o.CSVDir, series); err != nil {
+				fmt.Fprintf(w, "# csv export failed: %v\n", err)
+			}
+		}
+	}
+	printTable := func(tb interface{ Format() string }, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tb.Format())
+		return nil
+	}
+	switch strings.ToLower(id) {
+	case "table2":
+		tb, err := Table2(o)
+		return printTable(tb, err)
+	case "fig2":
+		series, err := Fig2(o)
+		if err != nil {
+			return err
+		}
+		printSeries(series)
+	case "fig3", "fig4":
+		series, err := CDS(o, SGDPair)
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(id, "fig3") {
+			printSeries(series)
+			fmt.Fprint(w, Speedups(series).Format())
+		} else {
+			fmt.Fprint(w, WaitTable("Fig 4: average wait time per iteration (8 workers, SGD vs ASGD)", series).Format())
+		}
+	case "fig5", "fig6":
+		series, err := CDS(o, SAGAPair)
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(id, "fig5") {
+			printSeries(series)
+			fmt.Fprint(w, Speedups(series).Format())
+		} else {
+			fmt.Fprint(w, WaitTable("Fig 6: average wait time per iteration (8 workers, SAGA vs ASAGA)", series).Format())
+		}
+	case "fig7", "fig8":
+		pair := SGDPair
+		if strings.EqualFold(id, "fig8") {
+			pair = SAGAPair
+		}
+		series, err := PCS(o, pair)
+		if err != nil {
+			return err
+		}
+		printSeries(series)
+		fmt.Fprint(w, Speedups(series).Format())
+	case "table3":
+		tb, err := Table3(o)
+		return printTable(tb, err)
+	case "ablation-broadcast":
+		tb, err := AblationBroadcast(o)
+		return printTable(tb, err)
+	case "ablation-localreduce":
+		tb, err := AblationLocalReduce(o)
+		return printTable(tb, err)
+	case "ablation-barrier":
+		tb, err := AblationBarrier(o)
+		return printTable(tb, err)
+	case "ablation-staleness":
+		tb, err := AblationStalenessLR(o)
+		return printTable(tb, err)
+	case "ext-sspsweep":
+		tb, err := SSPSweep(o)
+		return printTable(tb, err)
+	case "ext-staleness-dist":
+		tb, err := StalenessDistribution(o)
+		return printTable(tb, err)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return nil
+}

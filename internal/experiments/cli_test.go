@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(tinyOpts(), "fig99", &sb); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(tinyOpts(), "table2", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rcv1-like") {
+		t.Fatalf("table2 output: %s", sb.String())
+	}
+}
+
+func TestRunFig4EmitsWaitTable(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(tinyOpts(), "fig4", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "avg_wait_ms") || !strings.Contains(out, "ASGD-1.0") {
+		t.Fatalf("fig4 output missing columns: %s", out)
+	}
+}
+
+func TestRunExtSSPSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(tinyOpts(), "ext-sspsweep", &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BSP", "ASP", "max_staleness"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	o := tinyOpts()
+	o.CSVDir = dir
+	var sb strings.Builder
+	if err := Run(o, "fig2", &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := osReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 { // 3 datasets × 2 algorithms
+		t.Fatalf("csv files = %d: %v", len(entries), entries)
+	}
+	for _, name := range entries {
+		if !strings.HasSuffix(name, ".csv") || strings.ContainsRune(name, '/') {
+			t.Fatalf("bad csv name %q", name)
+		}
+	}
+}
+
+func osReadDir(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		out = append(out, de.Name())
+	}
+	return out, nil
+}
+
+func TestIDsAllRunnable(t *testing.T) {
+	// every listed id must at least be recognized (fast ones actually run
+	// in other tests; here we only validate the registry is consistent)
+	known := map[string]bool{}
+	for _, id := range IDs() {
+		if known[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		known[id] = true
+	}
+	if len(known) != 15 {
+		t.Fatalf("expected 15 experiment ids, got %d", len(known))
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/rdd"
+	"repro/internal/straggler"
+)
+
+// Extension experiments beyond the paper's figures: sweeps enabled by the
+// engine that the paper's discussion motivates but does not plot.
+
+// SSPSweep runs ASGD under a 100% controlled-delay straggler across SSP
+// staleness thresholds, bracketed by BSP (s → 1) and ASP (s → ∞): the
+// trade-off curve between hardware efficiency (loose barriers run faster)
+// and statistical efficiency (tight barriers see fresher gradients) that
+// §3 describes.
+func SSPSweep(o Options) (*metrics.Table, error) {
+	o = o.withDefaults()
+	cfg := dataset.MNIST8MLike(o.Scale, o.Seed+1)
+	delay := straggler.ControlledDelay{Worker: 0, Intensity: 1.0}
+	updates := o.SyncUpdates * cdsWorkers
+	type entry struct {
+		name    string
+		barrier core.BarrierFunc
+	}
+	entries := []entry{
+		{"BSP", core.BSP()},
+		{"SSP(4)", core.SSP(4)},
+		{"SSP(16)", core.SSP(16)},
+		{"SSP(64)", core.SSP(64)},
+		{"ASP", core.ASP()},
+	}
+	tb := &metrics.Table{
+		Title:   "extension: SSP staleness-threshold sweep (ASGD, 100% straggler, " + cfg.Name + ")",
+		Columns: []string{"total_ms", "final_err", "max_staleness"},
+	}
+	for _, e := range entries {
+		pr, err := getProblem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.NewLocal(cluster.Config{
+			NumWorkers: cdsWorkers, Delay: delay, Seed: o.Seed, MinTaskTime: o.MinTask,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rctx := rdd.NewContext(c)
+		if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		ac := core.New(rctx)
+		res, err := opt.ASGD(ac, pr.d, opt.Params{
+			Step:          stepFor(AlgoASGD, cfg, cdsWorkers),
+			SampleFrac:    effFrac(o.Scale, fracSGD(cfg.Name)),
+			Updates:       updates,
+			SnapshotEvery: o.SnapshotEvery,
+			Barrier:       e.barrier,
+		}, pr.fstar)
+		var maxStale int64
+		if err == nil {
+			for s := range ac.Coordinator().StalenessHistogram() {
+				if s > maxStale {
+					maxStale = s
+				}
+			}
+		}
+		ac.Close()
+		c.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SSP sweep %s: %w", e.name, err)
+		}
+		tb.Rows = append(tb.Rows, metrics.Row{
+			Label: e.name,
+			Values: map[string]string{
+				"total_ms":      fmt.Sprintf("%.1f", float64(res.Trace.Total.Microseconds())/1000.0),
+				"final_err":     fmt.Sprintf("%.4g", res.Trace.FinalError()),
+				"max_staleness": fmt.Sprintf("%d", maxStale),
+			},
+		})
+	}
+	return tb, nil
+}
+
+// StalenessDistribution reports the observed staleness histogram of ASGD
+// under production-cluster stragglers — the quantity staleness-aware
+// methods ([72], Listing 1) key on, which ASYNC's bookkeeping makes
+// observable.
+func StalenessDistribution(o Options) (*metrics.Table, error) {
+	o = o.withDefaults()
+	cfg := dataset.EpsilonLike(o.Scale, o.Seed+2)
+	pr, err := getProblem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := straggler.NewProductionCluster(pcsWorkers, o.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.NewLocal(cluster.Config{
+		NumWorkers: pcsWorkers, Delay: model, Seed: o.Seed, MinTaskTime: o.MinTask,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	rctx := rdd.NewContext(c)
+	if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
+		return nil, err
+	}
+	ac := core.New(rctx)
+	defer ac.Close()
+	if _, err := opt.ASGD(ac, pr.d, opt.Params{
+		Step:          stepFor(AlgoASGD, cfg, pcsWorkers),
+		SampleFrac:    effFrac(o.Scale, 0.05),
+		Updates:       o.SyncUpdates * pcsWorkers,
+		SnapshotEvery: o.SnapshotEvery,
+	}, pr.fstar); err != nil {
+		return nil, err
+	}
+	hist := ac.Coordinator().StalenessHistogram()
+	// bucket into powers of two for a compact table
+	buckets := map[string]int64{}
+	var order []string
+	bucketOf := func(s int64) string {
+		switch {
+		case s == 0:
+			return "0"
+		case s <= 2:
+			return "1-2"
+		case s <= 8:
+			return "3-8"
+		case s <= 32:
+			return "9-32"
+		case s <= 128:
+			return "33-128"
+		default:
+			return ">128"
+		}
+	}
+	for _, name := range []string{"0", "1-2", "3-8", "9-32", "33-128", ">128"} {
+		order = append(order, name)
+		buckets[name] = 0
+	}
+	var total int64
+	for s, n := range hist {
+		buckets[bucketOf(s)] += n
+		total += n
+	}
+	tb := &metrics.Table{
+		Title:   "extension: staleness distribution (ASGD under PCS, 32 workers)",
+		Columns: []string{"results", "fraction"},
+	}
+	for _, name := range order {
+		tb.Rows = append(tb.Rows, metrics.Row{
+			Label: "staleness " + name,
+			Values: map[string]string{
+				"results":  fmt.Sprintf("%d", buckets[name]),
+				"fraction": fmt.Sprintf("%.3f", float64(buckets[name])/float64(total)),
+			},
+		})
+	}
+	return tb, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestSSPSweep(t *testing.T) {
+	tb, err := SSPSweep(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	var bspMs, aspMs float64
+	var bspStale, aspStale int64
+	for _, r := range tb.Rows {
+		ms, err := strconv.ParseFloat(r.Values["total_ms"], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale, err := strconv.ParseInt(r.Values["max_staleness"], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r.Label {
+		case "BSP":
+			bspMs, bspStale = ms, stale
+		case "ASP":
+			aspMs, aspStale = ms, stale
+		}
+	}
+	// hardware efficiency: ASP runs faster than BSP under the straggler
+	if aspMs >= bspMs {
+		t.Errorf("ASP %vms not below BSP %vms", aspMs, bspMs)
+	}
+	// statistical efficiency: BSP observes no more staleness than ASP
+	if bspStale > aspStale {
+		t.Errorf("BSP max staleness %d above ASP %d", bspStale, aspStale)
+	}
+}
+
+func TestStalenessDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins 32 workers")
+	}
+	tb, err := StalenessDistribution(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 buckets", len(tb.Rows))
+	}
+	var fracSum float64
+	var results int64
+	for _, r := range tb.Rows {
+		f, err := strconv.ParseFloat(r.Values["fraction"], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.ParseInt(r.Values["results"], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracSum += f
+		results += n
+	}
+	if fracSum < 0.98 || fracSum > 1.02 {
+		t.Fatalf("fractions sum to %v", fracSum)
+	}
+	if results == 0 {
+		t.Fatal("no results observed")
+	}
+}

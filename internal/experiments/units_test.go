@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+func TestEffFrac(t *testing.T) {
+	if got := effFrac(dataset.ScaleFull, 0.1); got != 0.1 {
+		t.Fatalf("full = %v", got)
+	}
+	if got := effFrac(dataset.ScaleSmall, 0.1); math.Abs(got-0.2) > 1e-15 {
+		t.Fatalf("small = %v", got)
+	}
+	if got := effFrac(dataset.ScaleTiny, 0.1); math.Abs(got-1.0) > 1e-15 {
+		t.Fatalf("tiny = %v", got)
+	}
+	// clamped to 1
+	if got := effFrac(dataset.ScaleTiny, 0.5); got != 1 {
+		t.Fatalf("clamp = %v", got)
+	}
+}
+
+func TestFracRules(t *testing.T) {
+	if fracSGD("rcv1-like") != 0.05 || fracSGD("mnist8m-like") != 0.10 {
+		t.Fatal("SGD fractions do not match §6.1")
+	}
+	if fracSAGA("rcv1-like") != 0.02 || fracSAGA("mnist8m-like") != 0.01 || fracSAGA("epsilon-like") != 0.10 {
+		t.Fatal("SAGA fractions do not match §6.1")
+	}
+}
+
+func TestStepForRules(t *testing.T) {
+	cfg := dataset.MNIST8MLike(dataset.ScaleTiny, 1)
+	syncS := stepFor(AlgoSGD, cfg, 8)
+	asyncS := stepFor(AlgoASGD, cfg, 8)
+	// paper heuristic: async initial step = sync initial step / P
+	if math.Abs(asyncS.Alpha(0)-syncS.Alpha(0)/8) > 1e-12 {
+		t.Fatalf("async α₀ %v != sync α₀/8 %v", asyncS.Alpha(0), syncS.Alpha(0)/8)
+	}
+	saga := stepFor(AlgoSAGA, cfg, 8)
+	asaga := stepFor(AlgoASAGA, cfg, 8)
+	if math.Abs(asaga.Alpha(0)-saga.Alpha(0)/8) > 1e-12 {
+		t.Fatal("ASAGA step not SAGA/P")
+	}
+	// SAGA steps are constant
+	if saga.Alpha(0) != saga.Alpha(1000) {
+		t.Fatal("SAGA step not constant")
+	}
+	// SGD steps decay
+	if syncS.Alpha(100) >= syncS.Alpha(0) {
+		t.Fatal("SGD step does not decay")
+	}
+}
+
+func TestStepScalesWithSparsity(t *testing.T) {
+	sparse := dataset.RCV1Like(dataset.ScaleTiny, 1)
+	dense := dataset.MNIST8MLike(dataset.ScaleTiny, 1)
+	// gradients scale with E‖x‖² ≈ nnz/row, so the denser dataset must get
+	// the smaller step
+	if baseStep(dense) >= baseStep(sparse) {
+		t.Fatalf("dense step %v not below sparse step %v", baseStep(dense), baseStep(sparse))
+	}
+}
+
+func TestProblemCacheReuse(t *testing.T) {
+	cfg := dataset.RCV1Like(dataset.ScaleTiny, 99)
+	p1, err := getProblem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := getProblem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("problem cache missed for identical config")
+	}
+	if p1.fstar > opt.Objective(p1.d, opt.LeastSquares{}, make([]float64, p1.d.NumCols())) {
+		t.Fatal("fstar above the zero-model objective")
+	}
+}

@@ -1,0 +1,89 @@
+package la
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// MulFunc applies a linear operator: y = A x.
+type MulFunc func(x, y Vec)
+
+// ConjGrad solves the symmetric positive-definite system A w = b with the
+// conjugate-gradient method, writing the solution into w (which also supplies
+// the initial guess). It stops when the residual 2-norm falls below tol or
+// after maxIter iterations.
+func ConjGrad(mul MulFunc, b, w Vec, tol float64, maxIter int) (CGResult, error) {
+	n := len(b)
+	if len(w) != n {
+		return CGResult{}, fmt.Errorf("la: ConjGrad dim mismatch b=%d w=%d", n, len(w))
+	}
+	if tol <= 0 {
+		return CGResult{}, errors.New("la: ConjGrad tol must be positive")
+	}
+	r := NewVec(n)  // residual b - A w
+	p := NewVec(n)  // search direction
+	ap := NewVec(n) // A p scratch
+	mul(w, ap)
+	SubInto(r, b, ap)
+	p.CopyFrom(r)
+	rs := Dot(r, r)
+	res := CGResult{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if rs <= tol*tol {
+			res.Converged = true
+			break
+		}
+		mul(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("la: ConjGrad operator not positive definite (pᵀAp=%g at iter %d)", pap, res.Iterations)
+		}
+		alpha := rs / pap
+		Axpy(alpha, p, w)
+		Axpy(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	res.Residual = Norm2(r)
+	if rs <= tol*tol {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// NormalEquationsSolve solves min_w ||A w - b||² + lambda ||w||² by running
+// conjugate gradient on the normal equations (AᵀA + λI) w = Aᵀ b. It is used
+// to compute the reference optimum f(w*) against which the experiments
+// measure error, playing the role of the long Mllib baseline run in §6.1.
+func NormalEquationsSolve(a *CSR, b Vec, lambda, tol float64, maxIter int) (Vec, CGResult, error) {
+	if a.NumRows != len(b) {
+		return nil, CGResult{}, fmt.Errorf("la: NormalEquationsSolve rows=%d len(b)=%d", a.NumRows, len(b))
+	}
+	atb := NewVec(a.NumCols)
+	a.MatTVec(b, atb)
+	tmp := NewVec(a.NumRows)
+	mul := func(x, y Vec) {
+		a.MatVec(x, tmp)
+		a.MatTVec(tmp, y)
+		if lambda != 0 {
+			Axpy(lambda, x, y)
+		}
+	}
+	w := NewVec(a.NumCols)
+	res, err := ConjGrad(mul, atb, w, tol, maxIter)
+	if err != nil {
+		return nil, res, err
+	}
+	return w, res, nil
+}

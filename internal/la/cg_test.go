@@ -1,0 +1,159 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConjGradIdentity(t *testing.T) {
+	// A = I, so the solution is b itself.
+	b := Vec{1, 2, 3}
+	w := NewVec(3)
+	res, err := ConjGrad(func(x, y Vec) { y.CopyFrom(x) }, b, w, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if !Equal(w, b, 1e-10) {
+		t.Fatalf("w = %v, want %v", w, b)
+	}
+}
+
+func TestConjGradDiagonal(t *testing.T) {
+	d := Vec{4, 9, 16, 25}
+	b := Vec{8, 27, 32, 100}
+	w := NewVec(4)
+	mul := func(x, y Vec) {
+		for i := range x {
+			y[i] = d[i] * x[i]
+		}
+	}
+	res, err := ConjGrad(mul, b, w, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	want := Vec{2, 3, 2, 4}
+	if !Equal(w, want, 1e-8) {
+		t.Fatalf("w = %v, want %v", w, want)
+	}
+}
+
+func TestConjGradRejectsBadInput(t *testing.T) {
+	if _, err := ConjGrad(func(x, y Vec) {}, Vec{1}, Vec{1, 2}, 1e-9, 10); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := ConjGrad(func(x, y Vec) {}, Vec{1}, Vec{0}, 0, 10); err == nil {
+		t.Fatal("zero tol accepted")
+	}
+}
+
+func TestConjGradIndefiniteDetected(t *testing.T) {
+	// A = -I is negative definite; CG must report the failure.
+	mul := func(x, y Vec) {
+		for i := range x {
+			y[i] = -x[i]
+		}
+	}
+	_, err := ConjGrad(mul, Vec{1, 1}, NewVec(2), 1e-12, 10)
+	if err == nil {
+		t.Fatal("indefinite operator not detected")
+	}
+}
+
+func TestNormalEquationsSolveRecoversPlanted(t *testing.T) {
+	// Plant wTrue, build b = A wTrue, solve the regularized least squares
+	// with tiny lambda; the solution must be close to wTrue when A has
+	// full column rank.
+	rng := rand.New(rand.NewSource(7))
+	rows, cols := 60, 8
+	a := randomCSR(rng, rows, cols, 0.9)
+	wTrue := NewVec(cols)
+	for i := range wTrue {
+		wTrue[i] = rng.NormFloat64()
+	}
+	b := NewVec(rows)
+	a.MatVec(wTrue, b)
+	w, res, err := NormalEquationsSolve(a, b, 0, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	if !Equal(w, wTrue, 1e-6) {
+		t.Fatalf("w = %v, want %v", w, wTrue)
+	}
+}
+
+func TestNormalEquationsSolveRegularized(t *testing.T) {
+	// With large lambda the solution shrinks toward zero.
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSR(rng, 30, 5, 0.9)
+	b := NewVec(30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	wSmall, _, err := NormalEquationsSolve(a, b, 1e-6, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBig, _, err := NormalEquationsSolve(a, b, 1e6, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(wBig) >= Norm2(wSmall) {
+		t.Fatalf("regularization did not shrink: %v >= %v", Norm2(wBig), Norm2(wSmall))
+	}
+	if Norm2(wBig) > 1e-3 {
+		t.Fatalf("huge lambda should give ~0 solution, got norm %v", Norm2(wBig))
+	}
+}
+
+func TestNormalEquationsDimMismatch(t *testing.T) {
+	a := NewCSR(3, 2, 0)
+	if _, _, err := NormalEquationsSolve(a, Vec{1, 2}, 0, 1e-9, 10); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestConjGradResidualDecreases(t *testing.T) {
+	// Solve a random SPD system built as AᵀA + I and check the final
+	// residual is below the requested tolerance.
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSR(rng, 20, 10, 0.5)
+	tmp := NewVec(20)
+	mul := func(x, y Vec) {
+		a.MatVec(x, tmp)
+		a.MatTVec(tmp, y)
+		Axpy(1.0, x, y)
+	}
+	b := NewVec(10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	w := NewVec(10)
+	res, err := ConjGrad(mul, b, w, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: %+v", res)
+	}
+	// verify residual independently
+	y := NewVec(10)
+	mul(w, y)
+	r := NewVec(10)
+	SubInto(r, b, y)
+	if Norm2(r) > 1e-8 {
+		t.Fatalf("independent residual %v too large", Norm2(r))
+	}
+	if math.IsNaN(Norm2(w)) {
+		t.Fatal("solution contains NaN")
+	}
+}

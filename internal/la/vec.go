@@ -1,0 +1,125 @@
+// Package la provides the dense and sparse linear-algebra substrate used by
+// the ASYNC reproduction: BLAS-1/2 style kernels over dense vectors,
+// compressed sparse rows, and a conjugate-gradient solver used to compute
+// reference optima for the least-squares experiments.
+//
+// The package is a pure-Go stand-in for the Breeze/netlib BLAS stack the
+// paper uses; the kernels are deliberately allocation-free on the hot paths
+// so that per-task compute time in the simulated cluster is dominated by
+// arithmetic, as it is on a real worker.
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense vector of float64.
+type Vec []float64
+
+// NewVec returns a zeroed dense vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Zero sets every element of v to zero.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyFrom copies src into v. It panics if the lengths differ.
+func (v Vec) CopyFrom(src Vec) {
+	if len(v) != len(src) {
+		panic(fmt.Sprintf("la: CopyFrom length mismatch %d != %d", len(v), len(src)))
+	}
+	copy(v, src)
+}
+
+// Dot returns the inner product of two dense vectors.
+func Dot(a, b Vec) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("la: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y Vec) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, xi := range x {
+		y[i] += alpha * xi
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v Vec) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// AddInto sets dst = a + b.
+func AddInto(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("la: AddInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubInto sets dst = a - b.
+func SubInto(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("la: SubInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-absolute-value norm of v.
+func NormInf(v Vec) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether a and b have the same length and elements within tol.
+func Equal(a, b Vec, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tr := &Trace{
+		Points: []TracePoint{
+			{Time: 1500 * time.Microsecond, Updates: 3, Error: 0.25},
+			{Time: 3 * time.Millisecond, Updates: 6, Error: 0.125},
+		},
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), sb.String())
+	}
+	if lines[0] != "time_ms,updates,error" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.500,3,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "3.000,6,") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = errString("write failed")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	tr := &Trace{Points: []TracePoint{{Time: time.Millisecond, Updates: 1, Error: 1}}}
+	if err := tr.WriteCSV(&failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkTrace(errs []float64) *Trace {
+	t := &Trace{Algorithm: "a", Dataset: "d", Workers: 2, Straggler: "none"}
+	for i, e := range errs {
+		t.Points = append(t.Points, TracePoint{
+			Time:    time.Duration(i+1) * time.Millisecond,
+			Updates: int64(i + 1),
+			Error:   e,
+		})
+	}
+	return t
+}
+
+func TestFinalError(t *testing.T) {
+	tr := mkTrace([]float64{3, 2, 1})
+	if tr.FinalError() != 1 {
+		t.Fatalf("final = %v", tr.FinalError())
+	}
+	empty := &Trace{}
+	if !math.IsNaN(empty.FinalError()) {
+		t.Fatal("empty trace should be NaN")
+	}
+}
+
+func TestTimeToError(t *testing.T) {
+	tr := mkTrace([]float64{3, 2, 1})
+	d, ok := tr.TimeToError(2)
+	if !ok || d != 2*time.Millisecond {
+		t.Fatalf("time to 2 = %v %v", d, ok)
+	}
+	if _, ok := tr.TimeToError(0.5); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	slow := mkTrace([]float64{4, 3, 2, 1})
+	fast := mkTrace([]float64{1, 1, 1, 1})
+	// fast reaches ≤1 at 1ms; slow at 4ms → 4×
+	if s := Speedup(slow, fast, 1); math.Abs(s-4) > 1e-12 {
+		t.Fatalf("speedup = %v, want 4", s)
+	}
+	if s := Speedup(slow, fast, 0.1); s != 0 {
+		t.Fatalf("unreachable target speedup = %v, want 0", s)
+	}
+}
+
+func TestSharedTarget(t *testing.T) {
+	a := mkTrace([]float64{3, 1})
+	b := mkTrace([]float64{3, 2})
+	// worst final = 2, initial = 3 → target = 2 + 0.1·(3−2) = 2.1
+	target := SharedTarget(a, b, 0.1)
+	if math.Abs(target-2.1) > 1e-12 {
+		t.Fatalf("target = %v, want 2.1", target)
+	}
+	if _, ok := a.TimeToError(target); !ok {
+		t.Fatal("trace a cannot reach shared target")
+	}
+	if _, ok := b.TimeToError(target); !ok {
+		t.Fatal("trace b cannot reach shared target")
+	}
+}
+
+func TestSharedTargetNoProgress(t *testing.T) {
+	a := mkTrace([]float64{3, 3})
+	b := mkTrace([]float64{3, 3})
+	if target := SharedTarget(a, b, 0.1); target != 3 {
+		t.Fatalf("no-progress target = %v, want 3", target)
+	}
+	if target := SharedTarget(&Trace{}, a, 0.1); !math.IsInf(target, 1) {
+		t.Fatalf("empty-trace target = %v, want +Inf", target)
+	}
+}
+
+func TestMeanWait(t *testing.T) {
+	tr := mkTrace(nil)
+	tr.AvgWait = map[int]time.Duration{0: 2 * time.Millisecond, 1: 4 * time.Millisecond}
+	if got := tr.MeanWait(); got != 3*time.Millisecond {
+		t.Fatalf("mean wait = %v", got)
+	}
+	if (&Trace{}).MeanWait() != 0 {
+		t.Fatal("empty mean wait should be 0")
+	}
+}
+
+func TestFormatContainsSeries(t *testing.T) {
+	tr := mkTrace([]float64{2, 1})
+	out := tr.Format()
+	if !strings.Contains(out, "time_ms") || !strings.Contains(out, "error") {
+		t.Fatalf("format missing header: %s", out)
+	}
+	if !strings.Contains(out, "1.00") {
+		t.Fatalf("format missing time: %s", out)
+	}
+}
+
+func TestFormatWait(t *testing.T) {
+	tr := mkTrace(nil)
+	tr.AvgWait = map[int]time.Duration{1: time.Millisecond, 0: 2 * time.Millisecond}
+	out := tr.FormatWait()
+	if !strings.Contains(out, "worker   0") || !strings.Contains(out, "mean") {
+		t.Fatalf("wait format: %s", out)
+	}
+	// worker 0 must come before worker 1 (sorted)
+	if strings.Index(out, "worker   0") > strings.Index(out, "worker   1") {
+		t.Fatal("workers not sorted")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		Title:   "Table 3",
+		Columns: []string{"SGD", "ASGD"},
+		Rows: []Row{
+			{Label: "mnist8m", Values: map[string]string{"SGD": "6.44", "ASGD": "3.57"}},
+		},
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "mnist8m") || !strings.Contains(out, "3.57") {
+		t.Fatalf("table format: %s", out)
+	}
+}

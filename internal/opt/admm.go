@@ -1,0 +1,220 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// ADMM solves the consensus least-squares problem
+//
+//	min Σ_i ‖A_i x − b_i‖²  over workers i
+//
+// with the alternating direction method of multipliers: each worker keeps a
+// local primal x_i and dual u_i, solves its proximal subproblem with a
+// local conjugate-gradient solve, and the server averages (x_i + u_i) into
+// the consensus z. The paper (§7) lists ADMM among the methods ASYNC's
+// primitives support: the synchronous variant is a BSP round per z-update;
+// the asynchronous variant (in the spirit of Zhang & Kwok 2014) updates z
+// from whichever workers have reported, under any barrier.
+//
+// Worker-local state (x_i, u_i, cached Gram operator) lives in the worker
+// Env store; the consensus z travels via the ASYNCbroadcaster.
+
+// ADMMParams configures an ADMM run.
+type ADMMParams struct {
+	Rho      float64 // augmented-Lagrangian penalty (> 0)
+	Rounds   int     // z-updates
+	CGTol    float64 // local subproblem tolerance
+	CGIters  int     // local subproblem iteration cap
+	Barrier  core.BarrierFunc
+	Filter   core.WorkerFilter
+	Snapshot int // trace resolution in z-updates
+}
+
+func (p *ADMMParams) defaults() error {
+	if p.Rho <= 0 {
+		p.Rho = 1
+	}
+	if p.Rounds <= 0 {
+		return fmt.Errorf("opt: ADMM needs positive Rounds")
+	}
+	if p.CGTol <= 0 {
+		p.CGTol = 1e-8
+	}
+	if p.CGIters <= 0 {
+		p.CGIters = 200
+	}
+	if p.Barrier == nil {
+		p.Barrier = core.ASP()
+	}
+	if p.Snapshot <= 0 {
+		p.Snapshot = 5
+	}
+	return nil
+}
+
+// admmState is the per-worker ADMM state kept in the Env store.
+type admmState struct {
+	x, u la.Vec
+}
+
+// ADMMPartial is a worker's contribution to the consensus update.
+type ADMMPartial struct {
+	XPlusU la.Vec
+	// PrimalSq is ‖x_i − z‖², the worker's primal residual contribution.
+	PrimalSq float64
+}
+
+func init() {
+	gob.Register(ADMMPartial{})
+}
+
+// admmKernel solves each owned partition's proximal subproblem at the
+// current consensus and returns Σ(x_i + u_i) with the partition count as
+// the batch size (partitions are ADMM's "agents").
+func admmKernel(zBr core.DynBroadcast, rho, cgTol float64, cgIters int) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		zv, err := zBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		z, err := asVec(zv)
+		if err != nil {
+			return nil, 0, err
+		}
+		cols := len(z)
+		sum := la.NewVec(cols)
+		var primalSq float64
+		n := 0
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			key := fmt.Sprintf("opt.admm.%d", pi)
+			st := env.StoreGetOrCreate(key, func() any {
+				return &admmState{x: la.NewVec(cols), u: la.NewVec(cols)}
+			}).(*admmState)
+
+			// subproblem: (2 A_iᵀA_i + ρI) x = 2 A_iᵀ b_i + ρ (z − u_i)
+			rhs := la.NewVec(cols)
+			p.X.MatTVec(p.Y, rhs)
+			la.Scale(2, rhs)
+			for j := range rhs {
+				rhs[j] += rho * (z[j] - st.u[j])
+			}
+			tmp := la.NewVec(p.X.NumRows)
+			mul := func(x, y la.Vec) {
+				p.X.MatVec(x, tmp)
+				p.X.MatTVec(tmp, y)
+				la.Scale(2, y)
+				la.Axpy(rho, x, y)
+			}
+			if _, err := la.ConjGrad(mul, rhs, st.x, cgTol, cgIters); err != nil {
+				return nil, 0, fmt.Errorf("opt: ADMM partition %d: %w", pi, err)
+			}
+			// dual ascent against the consensus the worker can see
+			for j := range st.u {
+				st.u[j] += st.x[j] - z[j]
+				sum[j] += st.x[j] + st.u[j]
+				d := st.x[j] - z[j]
+				primalSq += d * d
+			}
+			n++
+		}
+		if n == 0 {
+			return nil, 0, nil
+		}
+		return ADMMPartial{XPlusU: sum, PrimalSq: primalSq}, n, nil
+	}
+}
+
+// ADMM runs consensus ADMM. Synchronous (BSP) when p.Barrier is core.BSP():
+// every z-update averages all partitions' (x_i + u_i). Under ASP/SSP the
+// server re-averages from the latest contribution of each worker as results
+// arrive — asynchronous consensus ADMM. fstar is the reference optimum of
+// the global least-squares problem.
+func ADMM(ac *core.Context, d *dataset.Dataset, p ADMMParams, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	cols := d.NumCols()
+	z := la.NewVec(cols)
+	rec := NewRecorder(p.Snapshot)
+	rec.Force(0, z)
+	// latest contribution per worker: sum of (x_i+u_i) over its partitions
+	// plus how many partitions it covered
+	type contrib struct {
+		sum la.Vec
+		n   int
+	}
+	latest := map[int]contrib{}
+	algo := "ADMM-async"
+	if isBSPBarrier(ac, p.Barrier) {
+		algo = "ADMM"
+	}
+	for round := int64(0); round < int64(p.Rounds); round++ {
+		zBr := ac.ASYNCbroadcast("admm.z", z.Clone())
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: ADMM round %d: %w", round, err)
+		}
+		n, err := ac.ASYNCreduce(sel, admmKernel(zBr, p.Rho, p.CGTol, p.CGIters))
+		if err != nil {
+			return nil, err
+		}
+		collected := 0
+		for first := true; (first || ac.HasNext()) && collected < n; first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			part, ok := tr.Payload.(ADMMPartial)
+			if !ok {
+				return nil, fmt.Errorf("opt: ADMM payload %T", tr.Payload)
+			}
+			latest[tr.Attrs.Worker] = contrib{sum: part.XPlusU, n: tr.Attrs.MiniBatch}
+			collected++
+		}
+		// z = mean over all known partition contributions
+		total := 0
+		z.Zero()
+		for _, c := range latest {
+			la.Axpy(1, c.sum, z)
+			total += c.n
+		}
+		if total == 0 {
+			continue
+		}
+		la.Scale(1/float64(total), z)
+		upd := ac.AdvanceClock()
+		rec.Maybe(upd, z)
+	}
+	rec.Finish(ac.Updates(), z)
+	drain(ac, 5*time.Second)
+	res := &Result{W: z}
+	res.Trace = newTrace(ac, algo, d, rec, LeastSquares{}, fstar)
+	return res, nil
+}
+
+// isBSPBarrier distinguishes the trace label only; behaviour comes from the
+// predicate itself.
+func isBSPBarrier(ac *core.Context, f core.BarrierFunc) bool {
+	if f == nil {
+		return false
+	}
+	st := ac.STAT()
+	if st.AliveWorkers == 0 {
+		return false
+	}
+	// probe: BSP-like predicates are false whenever any worker is busy
+	probe := st
+	probe.AvailableWorkers = st.AliveWorkers - 1
+	return f(st) && !f(probe)
+}

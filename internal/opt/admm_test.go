@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/straggler"
+)
+
+func TestADMMSyncConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ADMM(r.ac, r.d, ADMMParams{
+		Rho: 1, Rounds: 40, Barrier: core.BSP(), Snapshot: 10,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 50) // ADMM with exact local solves converges fast
+	if res.Trace.Algorithm != "ADMM" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+}
+
+func TestADMMAsyncConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ADMM(r.ac, r.d, ADMMParams{
+		Rho: 1, Rounds: 80, Snapshot: 20, // default barrier: ASP
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 20)
+	if res.Trace.Algorithm != "ADMM-async" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+}
+
+func TestADMMAsyncUnderStraggler(t *testing.T) {
+	r := newRig(t, 4, 8, straggler.ControlledDelay{Worker: 0, Intensity: 2})
+	res, err := ADMM(r.ac, r.d, ADMMParams{
+		Rho: 1, Rounds: 80, Snapshot: 20,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+}
+
+func TestADMMValidation(t *testing.T) {
+	r := newRig(t, 1, 1, nil)
+	if _, err := ADMM(r.ac, r.d, ADMMParams{Rounds: 0}, r.fstar); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestADMMRhoSensitivity(t *testing.T) {
+	// any positive rho must still converge (ADMM is famously insensitive)
+	for _, rho := range []float64{0.1, 1, 10} {
+		r := newRig(t, 2, 4, nil)
+		res, err := ADMM(r.ac, r.d, ADMMParams{
+			Rho: rho, Rounds: 60, Barrier: core.BSP(), Snapshot: 20,
+		}, r.fstar)
+		if err != nil {
+			t.Fatalf("rho=%v: %v", rho, err)
+		}
+		r.assertConverged(t, res, 10)
+	}
+}

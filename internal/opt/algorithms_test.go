@@ -1,0 +1,272 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rdd"
+	"repro/internal/straggler"
+)
+
+// rig is a ready-to-run optimization test fixture.
+type rig struct {
+	ac     *core.Context
+	rctx   *rdd.Context
+	points *rdd.RDD[rdd.Point]
+	d      *dataset.Dataset
+	fstar  float64
+	f0     float64 // objective at w = 0
+}
+
+func newRig(t *testing.T, workers, parts int, delay straggler.Model) *rig {
+	t.Helper()
+	c, err := cluster.NewLocal(cluster.Config{NumWorkers: workers, Delay: delay, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	d, err := dataset.Generate(dataset.SynthConfig{
+		Name: "opt-test", Rows: 160, Cols: 8, NNZPerRow: 5, Noise: 0.05, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := rdd.NewContext(c)
+	points, err := rctx.Distribute(d, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := core.New(rctx)
+	t.Cleanup(ac.Close)
+	_, fstar, err := ReferenceOptimum(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{
+		ac: ac, rctx: rctx, points: points, d: d, fstar: fstar,
+		f0: Objective(d, LeastSquares{}, make([]float64, d.NumCols())),
+	}
+}
+
+// assertConverged checks the run reduced suboptimality by at least factor.
+func (r *rig) assertConverged(t *testing.T, res *Result, factor float64) {
+	t.Helper()
+	final := Objective(r.d, LeastSquares{}, res.W) - r.fstar
+	initial := r.f0 - r.fstar
+	if final < 0 {
+		t.Fatalf("final error %v below optimum — fstar wrong", final)
+	}
+	if final > initial/factor {
+		t.Fatalf("did not converge: error %v → %v (want ≥%gx reduction)", initial, final, factor)
+	}
+	if len(res.Trace.Points) < 2 {
+		t.Fatalf("trace has %d points", len(res.Trace.Points))
+	}
+	if res.Trace.Total <= 0 {
+		t.Fatal("trace total duration missing")
+	}
+}
+
+func TestSyncSGDConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := SyncSGD(r.ac, r.d, Params{
+		Step: InvSqrt{A: 0.08}, SampleFrac: 0.4, Updates: 80, SnapshotEvery: 20,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+	if res.Trace.Algorithm != "SGD" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+}
+
+func TestASGDConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 800, SnapshotEvery: 200,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+	if res.Trace.Algorithm != "ASGD" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+	if len(res.Trace.AvgWait) == 0 {
+		t.Fatal("no wait times recorded")
+	}
+}
+
+func TestASGDWithStalenessLR(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 800, SnapshotEvery: 200, StalenessLR: true,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+}
+
+func TestASGDWithSSPBarrier(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 600, SnapshotEvery: 150, Barrier: core.SSP(64),
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 5)
+}
+
+func TestSAGAConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := SAGA(r.ac, r.d, Params{
+		Step: Constant{A: 0.05}, SampleFrac: 0.3, Updates: 100, SnapshotEvery: 25,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+}
+
+func TestASAGAConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := ASAGA(r.ac, r.d, Params{
+		Step: Constant{A: 0.05 / 4}, SampleFrac: 0.3, Updates: 400, SnapshotEvery: 100,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+}
+
+func TestEpochVRConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := EpochVR(r.ac, r.d, VRParams{
+		Params: Params{Step: Constant{A: 0.02}, SampleFrac: 0.3, Updates: 1, SnapshotEvery: 40},
+		Epochs: 4, UpdatesPerEpoch: 80,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+}
+
+func TestMllibSGDConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := MllibSGD(r.rctx, r.points, r.d, Params{
+		Step: InvSqrt{A: 0.08}, SampleFrac: 0.4, Updates: 80, SnapshotEvery: 20,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+}
+
+// TestFig2Shape is the Figure 2 claim: the ASYNC-based synchronous SGD and
+// the engine-only baseline reach comparable error.
+func TestFig2Shape(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	p := Params{Step: InvSqrt{A: 0.08}, SampleFrac: 0.4, Updates: 60, SnapshotEvery: 20}
+	mllib, err := MllibSGD(r.rctx, r.points, r.d, p, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := SyncSGD(r.ac, r.d, p, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, ea := mllib.Trace.FinalError(), async.Trace.FinalError()
+	if em <= 0 || ea <= 0 {
+		t.Fatalf("degenerate errors %v %v", em, ea)
+	}
+	ratio := em / ea
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("sync-in-ASYNC and baseline diverge: %v vs %v", ea, em)
+	}
+}
+
+func TestASGDUnderStraggler(t *testing.T) {
+	// one worker at 1/3 speed: ASGD must still converge
+	r := newRig(t, 4, 8, straggler.ControlledDelay{Worker: 0, Intensity: 2})
+	res, err := ASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 600, SnapshotEvery: 150,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 5)
+}
+
+func TestSAGAFullTableBroadcastShipsMoreBytes(t *testing.T) {
+	r := newRig(t, 2, 4, nil)
+	res, bytes, err := SAGAFullTableBroadcast(r.rctx, r.points, r.d, Params{
+		Step: Constant{A: 0.05}, SampleFrac: 0.3, Updates: 40, SnapshotEvery: 10,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+	if bytes == 0 {
+		t.Fatal("table broadcast reported zero bytes")
+	}
+	// the table grows with touched samples: later rounds dominate; total
+	// must exceed the model-only volume (updates × workers × cols × 8)
+	modelOnly := int64(40 * 2 * r.d.NumCols() * 8)
+	if bytes <= modelOnly {
+		t.Fatalf("table bytes %d not above model-only volume %d", bytes, modelOnly)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	r := newRig(t, 1, 1, nil)
+	if _, err := SyncSGD(r.ac, r.d, Params{SampleFrac: 0.5, Updates: 1}, 0); err == nil {
+		t.Fatal("missing step accepted")
+	}
+	if _, err := SyncSGD(r.ac, r.d, Params{Step: Constant{A: 1}, SampleFrac: 0, Updates: 1}, 0); err == nil {
+		t.Fatal("zero frac accepted")
+	}
+	if _, err := SyncSGD(r.ac, r.d, Params{Step: Constant{A: 1}, SampleFrac: 0.5, Updates: 0}, 0); err == nil {
+		t.Fatal("zero updates accepted")
+	}
+	if _, err := EpochVR(r.ac, r.d, VRParams{
+		Params: Params{Step: Constant{A: 1}, SampleFrac: 0.5, Updates: 1},
+	}, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestSagaStateApplyMath(t *testing.T) {
+	st := newSagaState(2, 10)
+	part := SagaPartial{Sum: []float64{2, 4}, HistSum: []float64{1, 1}}
+	// alpha=1, batch=1: w = -( (2-1), (4-1) ) = (-1, -3); avgHist = (0.1, 0.3)
+	if err := st.apply(1, part, 1); err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !approx(st.w[0], -1) || !approx(st.w[1], -3) {
+		t.Fatalf("w = %v", st.w)
+	}
+	if !approx(st.avgHist[0], 0.1) || !approx(st.avgHist[1], 0.3) {
+		t.Fatalf("avgHist = %v", st.avgHist)
+	}
+	// second apply includes the avgHist correction term
+	if err := st.apply(1, SagaPartial{Sum: []float64{0, 0}, HistSum: []float64{0, 0}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.w[0], -1.1) || !approx(st.w[1], -3.3) {
+		t.Fatalf("w after correction = %v", st.w)
+	}
+	if err := st.apply(1, part, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/metrics"
+	"repro/internal/rdd"
+)
+
+// gradAgg is the per-partition fold state for the baseline's aggregate.
+type gradAgg struct {
+	G la.Vec
+	N int
+}
+
+// MllibSGD is the comparison baseline of Figure 2: mini-batch SGD written
+// directly against the synchronous RDD layer (sample → map → reduce per
+// round) with Mllib's 1/√t step decay, entirely bypassing the ASYNC
+// components. Differences between this and SyncSGD measure ASYNC's
+// synchronous-path overhead.
+func MllibSGD(rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	w := la.NewVec(d.NumCols())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	loss := p.Loss
+	for k := int64(0); k < int64(p.Updates); k++ {
+		// Spark broadcasts the model each round; tasks close over this
+		// round's immutable copy.
+		wRound := w.Clone()
+		sampled := points.Sample(p.SampleFrac)
+		agg, err := rdd.Aggregate(sampled, gradAgg{},
+			func(acc gradAgg, pt rdd.Point) gradAgg {
+				if acc.G == nil {
+					acc.G = la.NewVec(len(wRound))
+				}
+				loss.AddGrad(pt.X, pt.Y, wRound, acc.G)
+				acc.N++
+				return acc
+			},
+			func(a, b gradAgg) gradAgg {
+				switch {
+				case a.G == nil:
+					return b
+				case b.G == nil:
+					return a
+				default:
+					la.Axpy(1, b.G, a.G)
+					a.N += b.N
+					return a
+				}
+			})
+		if err != nil {
+			return nil, fmt.Errorf("opt: MllibSGD round %d: %w", k, err)
+		}
+		if agg.N == 0 {
+			continue
+		}
+		la.Axpy(-p.Step.Alpha(k)/float64(agg.N), agg.G, w)
+		rec.Maybe(k+1, w)
+	}
+	rec.Finish(int64(p.Updates), w)
+	tr := &metrics.Trace{
+		Algorithm: "Mllib-SGD",
+		Dataset:   d.Name,
+		Workers:   rctx.Cluster().NumWorkers(),
+		Points:    rec.Resolve(d, loss, fstar),
+		Total:     rec.Total(),
+	}
+	return &Result{Trace: tr, W: w}, nil
+}
+
+// SAGAFullTableBroadcast is the inefficient Spark-only SAGA of Algorithm 3,
+// kept as the ablation comparator for the ASYNCbroadcaster: every round the
+// driver re-broadcasts the FULL history table (one model vector per
+// previously touched sample index), exactly the overhead §4.3 describes.
+// It returns the total bytes shipped so the ablation bench can report the
+// communication blow-up.
+func SAGAFullTableBroadcast(rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *dataset.Dataset, p Params, fstar float64) (*Result, int64, error) {
+	if err := p.defaults(); err != nil {
+		return nil, 0, err
+	}
+	cols := d.NumCols()
+	st := newSagaState(cols, d.NumRows())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, st.w)
+	loss := p.Loss
+	// history table: sample index → model at last touch (driver side);
+	// untouched samples contribute zero historical gradient, matching
+	// SagaKernel's zero-initialized table
+	table := map[int]la.Vec{}
+	var bytesShipped int64
+	workers := int64(len(rctx.Cluster().AliveWorkers()))
+	for k := int64(0); k < int64(p.Updates); k++ {
+		wRound := st.w.Clone()
+		// Spark must ship the whole table with the round's broadcast: count
+		// its size against the run (8 bytes per float64).
+		tableCopy := make(map[int]la.Vec, len(table))
+		for idx, vec := range table {
+			tableCopy[idx] = vec
+		}
+		bytesShipped += workers * int64(len(tableCopy)) * int64(cols) * 8
+		bytesShipped += workers * int64(cols) * 8 // the model itself
+		sampled := points.Sample(p.SampleFrac)
+		type sagaAgg struct {
+			Part SagaPartial
+			N    int
+			Idx  []int
+		}
+		agg, err := rdd.Aggregate(sampled, sagaAgg{},
+			func(acc sagaAgg, pt rdd.Point) sagaAgg {
+				if acc.Part.Sum == nil {
+					acc.Part.Sum = la.NewVec(cols)
+					acc.Part.HistSum = la.NewVec(cols)
+				}
+				loss.AddGrad(pt.X, pt.Y, wRound, acc.Part.Sum)
+				if hw, ok := tableCopy[pt.GlobalIndex]; ok {
+					loss.AddGrad(pt.X, pt.Y, hw, acc.Part.HistSum)
+				}
+				acc.N++
+				acc.Idx = append(acc.Idx, pt.GlobalIndex)
+				return acc
+			},
+			func(a, b sagaAgg) sagaAgg {
+				switch {
+				case a.Part.Sum == nil:
+					return b
+				case b.Part.Sum == nil:
+					return a
+				default:
+					la.Axpy(1, b.Part.Sum, a.Part.Sum)
+					la.Axpy(1, b.Part.HistSum, a.Part.HistSum)
+					a.N += b.N
+					a.Idx = append(a.Idx, b.Idx...)
+					return a
+				}
+			})
+		if err != nil {
+			return nil, bytesShipped, fmt.Errorf("opt: table-SAGA round %d: %w", k, err)
+		}
+		if agg.N == 0 {
+			continue
+		}
+		if err := st.apply(p.Step.Alpha(k), agg.Part, agg.N); err != nil {
+			return nil, bytesShipped, err
+		}
+		for _, idx := range agg.Idx {
+			table[idx] = wRound
+		}
+		rec.Maybe(k+1, st.w)
+	}
+	rec.Finish(int64(p.Updates), st.w)
+	tr := &metrics.Trace{
+		Algorithm: "SAGA-table",
+		Dataset:   d.Name,
+		Workers:   rctx.Cluster().NumWorkers(),
+		Points:    rec.Resolve(d, loss, fstar),
+		Total:     rec.Total(),
+	}
+	return &Result{Trace: tr, W: st.w}, bytesShipped, nil
+}

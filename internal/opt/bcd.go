@@ -1,0 +1,203 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// Asynchronous block coordinate descent for least squares, in the family of
+// asynchronous coordinate methods the paper cites (PASSCoDe, asynchronous
+// Jacobi-style solvers). The driver picks a random coordinate block per
+// dispatch; each worker computes, over its rows, the block gradient
+//
+//	g_J = 2 Σ_r a_{rJ} (x_r·w − y_r)
+//
+// and the diagonal curvature h_J = 2 Σ_r a_{rJ}², and the server applies a
+// damped diagonal-Newton step on the block. Row partitioning means every
+// worker contributes a partial (g_J, h_J) for the same block; asynchrony
+// makes those partials stale in exactly the ASYNC sense.
+
+// BCDParams configures AsyncBCD.
+type BCDParams struct {
+	BlockSize int     // coordinates per block
+	Step      float64 // damping in (0, 1]; 1 = full diagonal-Newton step
+	Updates   int     // block updates
+	Barrier   core.BarrierFunc
+	Filter    core.WorkerFilter
+	Snapshot  int
+	Seed      int64
+}
+
+func (p *BCDParams) defaults(cols int) error {
+	if p.BlockSize <= 0 || p.BlockSize > cols {
+		return fmt.Errorf("opt: BCD block size %d outside (0,%d]", p.BlockSize, cols)
+	}
+	if p.Step <= 0 || p.Step > 1 {
+		return fmt.Errorf("opt: BCD step %v outside (0,1]", p.Step)
+	}
+	if p.Updates <= 0 {
+		return fmt.Errorf("opt: BCD needs positive Updates")
+	}
+	if p.Barrier == nil {
+		p.Barrier = core.ASP()
+	}
+	if p.Snapshot <= 0 {
+		p.Snapshot = 10
+	}
+	return nil
+}
+
+// BCDPartial is one worker's block gradient and curvature.
+type BCDPartial struct {
+	Block []int32
+	G     la.Vec // block gradient over the worker's rows
+	H     la.Vec // diagonal curvature over the worker's rows
+}
+
+func init() {
+	gob.Register(BCDPartial{})
+}
+
+// bcdKernel computes the exact block gradient/curvature over every owned
+// row at the broadcast model.
+func bcdKernel(wBr core.DynBroadcast, block []int32) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		wv, err := wBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		inBlock := make(map[int32]int, len(block))
+		for k, j := range block {
+			inBlock[j] = k
+		}
+		g := la.NewVec(len(block))
+		h := la.NewVec(len(block))
+		rows := 0
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			for r := 0; r < p.NumRows(); r++ {
+				x := p.X.Row(r)
+				resid := x.DotDense(w) - p.Y[r]
+				for k, j := range x.Idx {
+					bi, ok := inBlock[j]
+					if !ok {
+						continue
+					}
+					v := x.Val[k]
+					g[bi] += 2 * resid * v
+					h[bi] += 2 * v * v
+				}
+				rows++
+			}
+		}
+		if rows == 0 {
+			return nil, 0, nil
+		}
+		return BCDPartial{Block: block, G: g, H: h}, rows, nil
+	}
+}
+
+// AsyncBCD runs the block coordinate method. With core.BSP() it is a
+// synchronous Jacobi block solver (all partials combined before the step);
+// under ASP each worker's partial triggers its own damped step.
+func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) (*Result, error) {
+	if err := p.defaults(d.NumCols()); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	w := la.NewVec(d.NumCols())
+	rec := NewRecorder(p.Snapshot)
+	rec.Force(0, w)
+	perm := make([]int32, d.NumCols())
+	for j := range perm {
+		perm[j] = int32(j)
+	}
+	pickBlock := func() []int32 {
+		for k := 0; k < p.BlockSize; k++ {
+			swap := k + rng.Intn(len(perm)-k)
+			perm[k], perm[swap] = perm[swap], perm[k]
+		}
+		return append([]int32(nil), perm[:p.BlockSize]...)
+	}
+	sync := isBSPBarrier(ac, p.Barrier)
+	updates := int64(0)
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("bcd.w", w.Clone())
+		ac.RDD().PruneBroadcast("bcd.w", 4*ac.RDD().Cluster().NumWorkers())
+		block := pickBlock()
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: BCD after %d updates: %w", updates, err)
+		}
+		n, err := ac.ASYNCreduce(sel, bcdKernel(wBr, block))
+		if err != nil {
+			return nil, err
+		}
+		if sync {
+			// combine every worker's partial into one exact block step
+			g := la.NewVec(len(block))
+			h := la.NewVec(len(block))
+			got := 0
+			for i := 0; i < n; i++ {
+				tr, err := ac.ASYNCcollectAll()
+				if err != nil {
+					break
+				}
+				part := tr.Payload.(BCDPartial)
+				la.Axpy(1, part.G, g)
+				la.Axpy(1, part.H, h)
+				got++
+			}
+			if got == 0 {
+				continue
+			}
+			applyBlockStep(w, block, g, h, p.Step)
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, w)
+			continue
+		}
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			part, ok := tr.Payload.(BCDPartial)
+			if !ok {
+				return nil, fmt.Errorf("opt: BCD payload %T", tr.Payload)
+			}
+			applyBlockStep(w, part.Block, part.G, part.H, p.Step)
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, w)
+		}
+	}
+	rec.Finish(updates, w)
+	drain(ac, 5*time.Second)
+	algo := "BCD-async"
+	if sync {
+		algo = "BCD"
+	}
+	return &Result{Trace: newTrace(ac, algo, d, rec, LeastSquares{}, fstar), W: w}, nil
+}
+
+// applyBlockStep performs the damped diagonal-Newton update on a block.
+func applyBlockStep(w la.Vec, block []int32, g, h la.Vec, step float64) {
+	for k, j := range block {
+		if h[k] > 0 {
+			w[j] -= step * g[k] / h[k]
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/la"
+)
+
+// Checkpoint is the driver-side state needed to resume an optimization run:
+// the model, the logical update clock, and (for SAGA-family methods) the
+// running history average. Worker-side state — broadcast caches, SAGA
+// history shards — is soft state: a resumed run re-seeds it naturally, so
+// checkpoints stay small and the restore path needs no worker cooperation
+// (the same philosophy as Spark's lineage-based recovery).
+type Checkpoint struct {
+	Algorithm string
+	W         la.Vec
+	Updates   int64
+	AvgHist   la.Vec // nil for methods without history
+}
+
+// Validate checks structural consistency.
+func (c *Checkpoint) Validate() error {
+	if len(c.W) == 0 {
+		return fmt.Errorf("opt: checkpoint has empty model")
+	}
+	if c.Updates < 0 {
+		return fmt.Errorf("opt: checkpoint has negative clock %d", c.Updates)
+	}
+	if c.AvgHist != nil && len(c.AvgHist) != len(c.W) {
+		return fmt.Errorf("opt: checkpoint history dim %d != model dim %d", len(c.AvgHist), len(c.W))
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the checkpoint in gob format.
+func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("opt: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("opt: load checkpoint: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// FromResult builds a checkpoint from a finished run.
+func FromResult(res *Result, updates int64) *Checkpoint {
+	return &Checkpoint{
+		Algorithm: res.Trace.Algorithm,
+		W:         res.W.Clone(),
+		Updates:   updates,
+	}
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestASGDSurvivesWorkerDeath kills a worker mid-run: ASGD must keep
+// converging on the survivors (the dead worker's in-flight gradient is
+// simply lost, which asynchronous SGD tolerates by design).
+func TestASGDSurvivesWorkerDeath(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(5 * time.Millisecond)
+		r.ac.RDD().Cluster().Kill(2)
+	}()
+	res, err := ASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 600, SnapshotEvery: 150,
+	}, r.fstar)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+	// the dead worker must leave the STAT table's alive set once the
+	// liveness sweeper (50ms period) observes the death
+	deadline := time.Now().Add(3 * time.Second)
+	for r.ac.STAT().AliveWorkers != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("alive workers = %d, want 3", r.ac.STAT().AliveWorkers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSyncSGDSurvivesWorkerDeath: the BSP barrier compares available
+// against *alive* workers, so synchronous rounds continue with the
+// survivors after a crash.
+func TestSyncSGDSurvivesWorkerDeath(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		r.ac.RDD().Cluster().Kill(1)
+	}()
+	res, err := SyncSGD(r.ac, r.d, Params{
+		Step: InvSqrt{A: 0.08}, SampleFrac: 0.4, Updates: 80, SnapshotEvery: 20,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+}
+
+// TestASAGASurvivesWorkerDeath: ASAGA loses the dead worker's history shard
+// (its partitions' recorded versions) but the algorithm continues and
+// converges on the survivors.
+func TestASAGASurvivesWorkerDeath(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		r.ac.RDD().Cluster().Kill(3)
+	}()
+	res, err := ASAGA(r.ac, r.d, Params{
+		Step: Constant{A: 0.05 / 4}, SampleFrac: 0.3, Updates: 400, SnapshotEvery: 100,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+}
+
+// TestASGDAllWorkersDeadFails: when every worker dies the driver must
+// surface an error rather than hang.
+func TestASGDAllWorkersDeadFails(t *testing.T) {
+	r := newRig(t, 2, 4, nil)
+	r.ac.BarrierTimeout = 500 * time.Millisecond
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		r.ac.RDD().Cluster().Kill(0)
+		r.ac.RDD().Cluster().Kill(1)
+	}()
+	_, err := ASGD(r.ac, r.d, Params{
+		Step: Constant{A: 0.01}, SampleFrac: 0.4, Updates: 100000, SnapshotEvery: 1000,
+	}, r.fstar)
+	if err == nil {
+		t.Fatal("run with zero workers succeeded")
+	}
+	if _, ok := err.(interface{ Error() string }); !ok {
+		t.Fatal("non-error error")
+	}
+	_ = core.ErrNoWorkers
+}

@@ -1,0 +1,213 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/la"
+)
+
+// SagaPartial is a worker's locally reduced SAGA contribution: the sum of
+// current-gradient terms, the sum of historical-gradient terms, and the
+// sample count (carried in the result attributes).
+type SagaPartial struct {
+	Sum     la.Vec // Σ_{i∈S} ∇f_i(w_current)
+	HistSum la.Vec // Σ_{i∈S} ∇f_i(w_hist(i))
+}
+
+func init() {
+	gob.Register(la.Vec{})
+	gob.Register(SagaPartial{})
+}
+
+// asVec extracts the dense model vector from a broadcast value.
+func asVec(v any) (la.Vec, error) {
+	w, ok := v.(la.Vec)
+	if !ok {
+		return nil, fmt.Errorf("opt: broadcast value is %T, want la.Vec", v)
+	}
+	return w, nil
+}
+
+// GradKernel builds the mini-batch gradient kernel used by SGD and ASGD:
+// sample each row of the worker's partitions with probability frac, sum the
+// per-sample loss gradients at the broadcast model, and return the
+// (unnormalized) gradient sum. The driver divides by the batch size from
+// the result attributes.
+func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		if frac <= 0 || frac > 1 {
+			return nil, 0, fmt.Errorf("opt: sample fraction %v outside (0,1]", frac)
+		}
+		wv, err := wBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		g := la.NewVec(len(w))
+		n := 0
+		rng := rand.New(rand.NewSource(seed))
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			for local := 0; local < p.NumRows(); local++ {
+				if rng.Float64() >= frac {
+					continue
+				}
+				loss.AddGrad(p.X.Row(local), p.Y[local], w, g)
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, 0, nil // empty sample: no result
+		}
+		return g, n, nil
+	}
+}
+
+// SagaKernel builds the historical-gradient kernel of Algorithm 4: for each
+// sampled row it computes the gradient at the current model AND at the
+// model version recorded for that row (w_br.value(index)), then records the
+// current version for the row. Rows never touched contribute zero
+// historical gradient (the standard zero-initialized SAGA table, which is
+// also the only initialization under which Algorithm 3's
+// `averageHistory = 0` start is consistent).
+func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		if frac <= 0 || frac > 1 {
+			return nil, 0, fmt.Errorf("opt: sample fraction %v outside (0,1]", frac)
+		}
+		wv, err := wBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		gCur := la.NewVec(len(w))
+		gHist := la.NewVec(len(w))
+		n := 0
+		rng := rand.New(rand.NewSource(seed))
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			for local := 0; local < p.NumRows(); local++ {
+				if rng.Float64() >= frac {
+					continue
+				}
+				idx := p.GlobalRow(local)
+				x, y := p.X.Row(local), p.Y[local]
+				loss.AddGrad(x, y, w, gCur)
+				hv, touched, err := wBr.TryValueAt(env, idx)
+				if err != nil {
+					return nil, 0, err
+				}
+				if touched {
+					wHist, err := asVec(hv)
+					if err != nil {
+						return nil, 0, err
+					}
+					loss.AddGrad(x, y, wHist, gHist)
+				}
+				wBr.Record(env, idx)
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, 0, nil
+		}
+		return SagaPartial{Sum: gCur, HistSum: gHist}, n, nil
+	}
+}
+
+// VRKernel builds the inner-loop kernel of the epoch-based variance-reduced
+// scheme (Listing 3 / SVRG): per sampled row it returns ∇f_i(w) − ∇f_i(w̃),
+// where w̃ is the epoch anchor.
+func VRKernel(loss Loss, wBr, anchorBr core.DynBroadcast, frac float64) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		wv, err := wBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		av, err := anchorBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		anchor, err := asVec(av)
+		if err != nil {
+			return nil, 0, err
+		}
+		diff := la.NewVec(len(w))
+		tmp := la.NewVec(len(w))
+		n := 0
+		rng := rand.New(rand.NewSource(seed))
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			for local := 0; local < p.NumRows(); local++ {
+				if rng.Float64() >= frac {
+					continue
+				}
+				x, y := p.X.Row(local), p.Y[local]
+				loss.AddGrad(x, y, w, diff)
+				tmp.Zero()
+				loss.AddGrad(x, y, anchor, tmp)
+				la.Axpy(-1, tmp, diff)
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, 0, nil
+		}
+		return diff, n, nil
+	}
+}
+
+// FullGradKernel computes the exact gradient sum over the worker's
+// partitions (frac = 1, no sampling) — the synchronous full pass at the top
+// of each variance-reduction epoch.
+func FullGradKernel(loss Loss, wBr core.DynBroadcast) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		wv, err := wBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		g := la.NewVec(len(w))
+		n := 0
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return nil, 0, err
+			}
+			for local := 0; local < p.NumRows(); local++ {
+				loss.AddGrad(p.X.Row(local), p.Y[local], w, g)
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, 0, nil
+		}
+		return g, n, nil
+	}
+}

@@ -1,0 +1,67 @@
+package opt
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/metrics"
+)
+
+// snapshot is a timestamped copy of the model; errors are computed after
+// the run so objective evaluation never perturbs the timing being measured.
+type snapshot struct {
+	elapsed time.Duration
+	updates int64
+	w       la.Vec
+}
+
+// Recorder captures model snapshots every `every` updates (plus the first
+// and the moment Finish is called).
+type Recorder struct {
+	start time.Time
+	every int
+	snaps []snapshot
+	total time.Duration
+}
+
+// NewRecorder starts the clock. every <= 0 disables periodic snapshots
+// (only start/finish are kept).
+func NewRecorder(every int) *Recorder {
+	return &Recorder{start: time.Now(), every: every}
+}
+
+// Maybe records a snapshot if the update count hits the cadence.
+func (r *Recorder) Maybe(updates int64, w la.Vec) {
+	if r.every > 0 && updates%int64(r.every) == 0 {
+		r.snaps = append(r.snaps, snapshot{time.Since(r.start), updates, w.Clone()})
+	}
+}
+
+// Force records a snapshot unconditionally.
+func (r *Recorder) Force(updates int64, w la.Vec) {
+	r.snaps = append(r.snaps, snapshot{time.Since(r.start), updates, w.Clone()})
+}
+
+// Finish stamps the total duration and records the final model.
+func (r *Recorder) Finish(updates int64, w la.Vec) {
+	r.total = time.Since(r.start)
+	r.snaps = append(r.snaps, snapshot{r.total, updates, w.Clone()})
+}
+
+// Resolve evaluates every snapshot against the dataset and reference
+// optimum, producing the convergence trace.
+func (r *Recorder) Resolve(d *dataset.Dataset, loss Loss, fstar float64) []metrics.TracePoint {
+	pts := make([]metrics.TracePoint, 0, len(r.snaps))
+	for _, s := range r.snaps {
+		pts = append(pts, metrics.TracePoint{
+			Time:    s.elapsed,
+			Updates: s.updates,
+			Error:   Objective(d, loss, s.w) - fstar,
+		})
+	}
+	return pts
+}
+
+// Total returns the stamped run duration.
+func (r *Recorder) Total() time.Duration { return r.total }

@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// GradOpArgs parameterize the registered gradient op: everything a remote
+// worker needs to rebuild the mini-batch gradient kernel. All fields are
+// serializable, so the op works over the TCP transport.
+type GradOpArgs struct {
+	BroadcastID string
+	Version     int64
+	Frac        float64
+	Parts       []int
+	Loss        string // a Loss name accepted by LossByName
+}
+
+// GradOpName is the registered op implementing GradKernel remotely.
+const GradOpName = "opt.grad"
+
+func init() {
+	gob.Register(GradOpArgs{})
+	cluster.RegisterOp(GradOpName, func(env *cluster.Env, t *cluster.Task) (any, error) {
+		a, ok := t.Args.(GradOpArgs)
+		if !ok {
+			return nil, fmt.Errorf("opt: %s args are %T", GradOpName, t.Args)
+		}
+		loss, err := LossByName(a.Loss)
+		if err != nil {
+			return nil, err
+		}
+		kern := GradKernel(loss, core.DynBroadcast{ID: a.BroadcastID, Version: a.Version}, a.Frac)
+		v, n, err := kern(env, a.Parts, t.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.ReducePayload{Val: v, N: n, Empty: n == 0 && v == nil}, nil
+	})
+}
+
+// SagaOpArgs parameterize the registered SAGA op (historical gradients over
+// a real transport).
+type SagaOpArgs struct {
+	BroadcastID string
+	Version     int64
+	Frac        float64
+	Parts       []int
+	Loss        string
+}
+
+// SagaOpName is the registered op implementing SagaKernel remotely.
+const SagaOpName = "opt.saga"
+
+func init() {
+	gob.Register(SagaOpArgs{})
+	cluster.RegisterOp(SagaOpName, func(env *cluster.Env, t *cluster.Task) (any, error) {
+		a, ok := t.Args.(SagaOpArgs)
+		if !ok {
+			return nil, fmt.Errorf("opt: %s args are %T", SagaOpName, t.Args)
+		}
+		loss, err := LossByName(a.Loss)
+		if err != nil {
+			return nil, err
+		}
+		kern := SagaKernel(loss, core.DynBroadcast{ID: a.BroadcastID, Version: a.Version}, a.Frac)
+		v, n, err := kern(env, a.Parts, t.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.ReducePayload{Val: v, N: n, Empty: n == 0 && v == nil}, nil
+	})
+}
+
+// RemoteASAGA is ASAGA dispatched through the registered SAGA op, suitable
+// for the TCP transport. Semantics match ASAGA; worker-side history shards
+// live on the remote workers exactly as in-process.
+func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	lossName := p.Loss.Name()
+	if _, err := LossByName(lossName); err != nil {
+		return nil, fmt.Errorf("opt: RemoteASAGA: %w", err)
+	}
+	st := newSagaState(d.NumCols(), d.NumRows())
+	if err := st.init(p); err != nil {
+		return nil, err
+	}
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, st.w)
+	updates := int64(0)
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: RemoteASAGA after %d updates: %w", updates, err)
+		}
+		_, err = ac.ASYNCreduceOp(sel, SagaOpName, func(worker int, parts []int) any {
+			return SagaOpArgs{
+				BroadcastID: wBr.ID, Version: wBr.Version,
+				Frac: p.SampleFrac, Parts: parts, Loss: lossName,
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			part, ok := tr.Payload.(SagaPartial)
+			if !ok {
+				return nil, fmt.Errorf("opt: RemoteASAGA payload %T", tr.Payload)
+			}
+			alpha := p.Step.Alpha(updates)
+			if p.StalenessLR {
+				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+			}
+			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
+				return nil, err
+			}
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, st.w)
+		}
+	}
+	rec.Finish(updates, st.w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "ASAGA-remote", d, rec, p.Loss, fstar), W: st.w}, nil
+}
+
+// LossByName resolves the loss functions shippable by name to remote ops.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "", "least-squares":
+		return LeastSquares{}, nil
+	case "logistic":
+		return Logistic{}, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown loss %q", name)
+	}
+}
+
+// RemoteASGD is ASGD dispatched through the registered gradient op instead
+// of in-process closures, so it runs unchanged over the TCP transport
+// (cmd/asyncd). Semantics match ASGD.
+func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	lossName := p.Loss.Name()
+	if _, err := LossByName(lossName); err != nil {
+		return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
+	}
+	w := la.NewVec(d.NumCols())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	updates := int64(0)
+	keep := 4 * ac.RDD().Cluster().NumWorkers()
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
+		ac.RDD().PruneBroadcast("sgd.w", keep)
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: RemoteASGD after %d updates: %w", updates, err)
+		}
+		_, err = ac.ASYNCreduceOp(sel, GradOpName, func(worker int, parts []int) any {
+			return GradOpArgs{
+				BroadcastID: wBr.ID, Version: wBr.Version,
+				Frac: p.SampleFrac, Parts: parts, Loss: lossName,
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			g, ok := tr.Payload.(la.Vec)
+			if !ok {
+				return nil, fmt.Errorf("opt: RemoteASGD payload %T", tr.Payload)
+			}
+			alpha := p.Step.Alpha(updates)
+			if p.StalenessLR {
+				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+			}
+			la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), g, w)
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, w)
+		}
+	}
+	rec.Finish(updates, w)
+	drain(ac, 5*time.Second)
+	res := &Result{Trace: newTrace(ac, "ASGD-remote", d, rec, p.Loss, fstar), W: w}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package opt
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rdd"
+	"repro/internal/straggler"
+)
+
+func TestLossByName(t *testing.T) {
+	for _, name := range []string{"", "least-squares", "logistic"} {
+		if _, err := LossByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := LossByName("hinge"); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+}
+
+func TestRemoteASGDInProc(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := RemoteASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 600, SnapshotEvery: 150,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 5)
+	if res.Trace.Algorithm != "ASGD-remote" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+}
+
+func TestRemoteASGDRejectsUnshippableLoss(t *testing.T) {
+	r := newRig(t, 1, 1, nil)
+	_, err := RemoteASGD(r.ac, r.d, Params{
+		Loss: Ridge{Inner: LeastSquares{}, Lambda: 0.1},
+		Step: Constant{A: 0.01}, SampleFrac: 0.5, Updates: 1,
+	}, r.fstar)
+	if err == nil {
+		t.Fatal("ridge loss shipped by name")
+	}
+}
+
+func TestRemoteASAGAInProc(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, err := RemoteASAGA(r.ac, r.d, Params{
+		Step: Constant{A: 0.05 / 4}, SampleFrac: 0.3, Updates: 400, SnapshotEvery: 100,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 10)
+	if res.Trace.Algorithm != "ASAGA-remote" {
+		t.Fatalf("algo %q", res.Trace.Algorithm)
+	}
+}
+
+// tcpRig assembles a real-socket cluster with a distributed dataset and an
+// ASYNC context — the cmd/asyncd path, in-process.
+type tcpRig struct {
+	ac    *core.Context
+	d     *dataset.Dataset
+	fstar float64
+	f0    float64
+}
+
+func newTCPRig(t *testing.T, workers int) *tcpRig {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	type sres struct {
+		c   *cluster.Cluster
+		err error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		c, err := cluster.ServeTCP(ln, workers)
+		ch <- sres{c, err}
+	}()
+	for i := 0; i < workers; i++ {
+		go func(id int) {
+			_ = cluster.DialWorkerTCP(addr, id, straggler.None{}, int64(id))
+		}(i)
+	}
+	var c *cluster.Cluster
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		c = r.c
+	case <-time.After(10 * time.Second):
+		t.Fatal("TCP cluster assembly timed out")
+	}
+	t.Cleanup(func() {
+		c.Shutdown()
+		_ = ln.Close()
+	})
+	d, err := dataset.Generate(dataset.SynthConfig{
+		Name: "tcp-opt", Rows: 90, Cols: 6, NNZPerRow: 4, Noise: 0.05, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fstar, err := ReferenceOptimum(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := rdd.NewContext(c)
+	if _, err := rctx.Distribute(d, 2*workers); err != nil {
+		t.Fatal(err)
+	}
+	ac := core.New(rctx)
+	t.Cleanup(ac.Close)
+	return &tcpRig{
+		ac: ac, d: d, fstar: fstar,
+		f0: Objective(d, LeastSquares{}, make([]float64, d.NumCols())),
+	}
+}
+
+func (r *tcpRig) assertConverged(t *testing.T, res *Result, factor float64) {
+	t.Helper()
+	final := Objective(r.d, LeastSquares{}, res.W) - r.fstar
+	if final > (r.f0-r.fstar)/factor {
+		t.Fatalf("TCP run did not converge: %v → %v", r.f0-r.fstar, final)
+	}
+}
+
+// TestRemoteASGDOverTCP runs the full ASGD driver against workers connected
+// through real sockets — the cmd/asyncd path.
+func TestRemoteASGDOverTCP(t *testing.T) {
+	r := newTCPRig(t, 3)
+	res, err := RemoteASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.1}, Factor: 3}, SampleFrac: 0.5,
+		Updates: 300, SnapshotEvery: 100,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+}
+
+// TestRemoteASAGAOverTCP exercises the historical-gradient path — version
+// cache, fetch-on-miss, per-sample history shards — across real sockets.
+func TestRemoteASAGAOverTCP(t *testing.T) {
+	r := newTCPRig(t, 3)
+	res, err := RemoteASAGA(r.ac, r.d, Params{
+		Step: Constant{A: 0.05 / 3}, SampleFrac: 0.4,
+		Updates: 300, SnapshotEvery: 100,
+	}, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 3)
+}

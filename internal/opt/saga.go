@@ -1,0 +1,166 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// sagaState carries the driver-side SAGA accumulators shared by the
+// synchronous and asynchronous variants.
+type sagaState struct {
+	w       la.Vec
+	avgHist la.Vec // running average of historical gradients
+	n       float64
+	scratch la.Vec
+}
+
+func newSagaState(cols, rows int) *sagaState {
+	return &sagaState{
+		w:       la.NewVec(cols),
+		avgHist: la.NewVec(cols),
+		n:       float64(rows),
+		scratch: la.NewVec(cols),
+	}
+}
+
+// init applies warm starts from Params (checkpoint resume).
+func (s *sagaState) init(p Params) error {
+	if p.InitW != nil {
+		if len(p.InitW) != len(s.w) {
+			return fmt.Errorf("opt: InitW dim %d != %d", len(p.InitW), len(s.w))
+		}
+		s.w.CopyFrom(p.InitW)
+	}
+	if p.InitAvgHist != nil {
+		if len(p.InitAvgHist) != len(s.avgHist) {
+			return fmt.Errorf("opt: InitAvgHist dim %d != %d", len(p.InitAvgHist), len(s.avgHist))
+		}
+		s.avgHist.CopyFrom(p.InitAvgHist)
+	}
+	return nil
+}
+
+// apply performs one SAGA update from a collected partial:
+//
+//	w ← w − α·[ (ΣgCur − ΣgHist)/b + avgHist ]
+//	avgHist ← avgHist + (ΣgCur − ΣgHist)/n
+//
+// which is Algorithm 4 lines 8–9 with the minibatch scaling written out.
+func (s *sagaState) apply(alpha float64, part SagaPartial, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("opt: SAGA partial with batch %d", batch)
+	}
+	la.SubInto(s.scratch, part.Sum, part.HistSum) // ΣgCur − ΣgHist
+	// update step
+	la.Axpy(-alpha/float64(batch), s.scratch, s.w)
+	la.Axpy(-alpha, s.avgHist, s.w)
+	// history average update
+	la.Axpy(1/s.n, s.scratch, s.avgHist)
+	return nil
+}
+
+// SAGA is the synchronous variant of Algorithm 3, but implemented with the
+// ASYNCbroadcaster instead of re-broadcasting the model-parameter table
+// each round — the optimization §4.3 exists for. Rounds are BSP: every
+// worker contributes one partial per update.
+func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	st := newSagaState(d.NumCols(), d.NumRows())
+	if err := st.init(p); err != nil {
+		return nil, err
+	}
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, st.w)
+	for k := int64(0); k < int64(p.Updates); k++ {
+		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
+		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: SAGA round %d: %w", k, err)
+		}
+		n, err := ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac))
+		if err != nil {
+			return nil, err
+		}
+		combined := SagaPartial{Sum: la.NewVec(d.NumCols()), HistSum: la.NewVec(d.NumCols())}
+		total := 0
+		for i := 0; i < n; i++ {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			part, ok := tr.Payload.(SagaPartial)
+			if !ok {
+				return nil, fmt.Errorf("opt: SAGA payload %T", tr.Payload)
+			}
+			la.Axpy(1, part.Sum, combined.Sum)
+			la.Axpy(1, part.HistSum, combined.HistSum)
+			total += tr.Attrs.MiniBatch
+		}
+		if total == 0 {
+			continue
+		}
+		if err := st.apply(p.Step.Alpha(k), combined, total); err != nil {
+			return nil, err
+		}
+		upd := ac.AdvanceClock()
+		rec.Maybe(upd, st.w)
+	}
+	rec.Finish(ac.Updates(), st.w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "SAGA", d, rec, p.Loss, fstar), W: st.w}, nil
+}
+
+// ASAGA is asynchronous SAGA (Algorithm 4): workers compute current and
+// historical gradients against their locally cached model versions, the
+// driver applies an update per collected partial, and no round barrier
+// exists (barrier defaults to ASP).
+func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	st := newSagaState(d.NumCols(), d.NumRows())
+	if err := st.init(p); err != nil {
+		return nil, err
+	}
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, st.w)
+	updates := int64(0)
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: ASAGA after %d updates: %w", updates, err)
+		}
+		if _, err := ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac)); err != nil {
+			return nil, err
+		}
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			part, ok := tr.Payload.(SagaPartial)
+			if !ok {
+				return nil, fmt.Errorf("opt: ASAGA payload %T", tr.Payload)
+			}
+			alpha := p.Step.Alpha(updates)
+			if p.StalenessLR {
+				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+			}
+			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
+				return nil, err
+			}
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, st.w)
+		}
+	}
+	rec.Finish(updates, st.w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "ASAGA", d, rec, p.Loss, fstar), W: st.w}, nil
+}

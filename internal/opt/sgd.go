@@ -1,0 +1,250 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/metrics"
+)
+
+// Params configures an optimization run.
+type Params struct {
+	Loss       Loss     // defaults to LeastSquares
+	Step       Schedule // required
+	SampleFrac float64  // mini-batch sampling rate b (per the paper, §6.1)
+	Updates    int      // number of model updates to perform
+
+	// Barrier and Filter drive the ASYNCscheduler for asynchronous
+	// variants. nil Barrier means ASP (fully asynchronous).
+	Barrier core.BarrierFunc
+	Filter  core.WorkerFilter
+
+	// StalenessLR applies the Listing 1 staleness-dependent learning-rate
+	// modulation: each result's step is divided by its staleness.
+	StalenessLR bool
+
+	// Momentum is the heavy-ball coefficient μ ∈ [0,1); 0 disables it.
+	Momentum float64
+
+	// InitW warm-starts the model (e.g. from a Checkpoint); nil = zeros.
+	InitW la.Vec
+
+	// InitAvgHist warm-starts the SAGA history average (checkpoint resume).
+	InitAvgHist la.Vec
+
+	// SnapshotEvery controls trace resolution (model snapshots per updates).
+	SnapshotEvery int
+}
+
+// initModel builds the starting model for a run.
+func (p *Params) initModel(cols int) (la.Vec, error) {
+	w := la.NewVec(cols)
+	if p.InitW != nil {
+		if len(p.InitW) != cols {
+			return nil, fmt.Errorf("opt: InitW dim %d != %d", len(p.InitW), cols)
+		}
+		w.CopyFrom(p.InitW)
+	}
+	return w, nil
+}
+
+// stepper applies (optionally momentum-accelerated) gradient steps.
+type stepper struct {
+	mu  float64
+	vel la.Vec
+}
+
+func newStepper(mu float64, cols int) *stepper {
+	s := &stepper{mu: mu}
+	if mu > 0 {
+		s.vel = la.NewVec(cols)
+	}
+	return s
+}
+
+// apply performs w += μ·v − alpha·g (heavy ball), or a plain step if μ = 0.
+func (s *stepper) apply(w, g la.Vec, alpha float64) {
+	if s.mu <= 0 {
+		la.Axpy(-alpha, g, w)
+		return
+	}
+	la.Scale(s.mu, s.vel)
+	la.Axpy(-alpha, g, s.vel)
+	la.Axpy(1, s.vel, w)
+}
+
+func (p *Params) defaults() error {
+	if p.Loss == nil {
+		p.Loss = LeastSquares{}
+	}
+	if p.Step == nil {
+		return errors.New("opt: Params.Step is required")
+	}
+	if p.SampleFrac <= 0 || p.SampleFrac > 1 {
+		return fmt.Errorf("opt: sample fraction %v outside (0,1]", p.SampleFrac)
+	}
+	if p.Updates <= 0 {
+		return errors.New("opt: Params.Updates must be positive")
+	}
+	if p.Barrier == nil {
+		p.Barrier = core.ASP()
+	}
+	if p.Momentum < 0 || p.Momentum >= 1 {
+		return fmt.Errorf("opt: momentum %v outside [0,1)", p.Momentum)
+	}
+	if p.SnapshotEvery <= 0 {
+		p.SnapshotEvery = 10
+	}
+	return nil
+}
+
+// Result bundles a run's trace and final model.
+type Result struct {
+	Trace *metrics.Trace
+	W     la.Vec
+}
+
+// drain discards leftover in-flight results so the AC is clean for the next
+// run. It returns once nothing is pending or the timeout passes.
+func drain(ac *core.Context, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for ac.Pending() > 0 || ac.HasNext() {
+		if ac.HasNext() {
+			if _, err := ac.ASYNCcollect(); err != nil {
+				return
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newTrace assembles trace metadata after a run.
+func newTrace(ac *core.Context, algo string, d *dataset.Dataset, rec *Recorder, loss Loss, fstar float64) *metrics.Trace {
+	return &metrics.Trace{
+		Algorithm: algo,
+		Dataset:   d.Name,
+		Workers:   ac.RDD().Cluster().NumWorkers(),
+		Straggler: "none", // overwritten by harnesses that inject delays
+		Points:    rec.Resolve(d, loss, fstar),
+		AvgWait:   ac.Coordinator().WaitTimes(),
+		Total:     rec.Total(),
+	}
+}
+
+// SyncSGD is mini-batch SGD with bulk-synchronous rounds (Algorithm 1),
+// implemented through the ASYNC engine with a BSP barrier: every round
+// broadcasts the model, tasks every worker, waits for all partials, and
+// applies one averaged update. fstar is the reference optimum used for
+// error traces.
+func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	w, err := p.initModel(d.NumCols())
+	if err != nil {
+		return nil, err
+	}
+	st := newStepper(p.Momentum, d.NumCols())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	gSum := la.NewVec(d.NumCols())
+	keep := 4 * ac.RDD().Cluster().NumWorkers()
+	for k := int64(0); k < int64(p.Updates); k++ {
+		wBr := ac.ASYNCbroadcastEager("sgd.w", w.Clone())
+		ac.RDD().PruneBroadcast("sgd.w", keep)
+		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: SyncSGD round %d: %w", k, err)
+		}
+		n, err := ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac))
+		if err != nil {
+			return nil, err
+		}
+		gSum.Zero()
+		total := 0
+		for i := 0; i < n; i++ {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break // remaining partials were empty samples
+			}
+			g, ok := tr.Payload.(la.Vec)
+			if !ok {
+				return nil, fmt.Errorf("opt: SyncSGD payload %T", tr.Payload)
+			}
+			la.Axpy(1, g, gSum)
+			total += tr.Attrs.MiniBatch
+		}
+		if total == 0 {
+			continue // every worker sampled zero rows; retry round
+		}
+		st.apply(w, gSum, p.Step.Alpha(k)/float64(total))
+		upd := ac.AdvanceClock()
+		rec.Maybe(upd, w)
+	}
+	rec.Finish(ac.Updates(), w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "SGD", d, rec, p.Loss, fstar), W: w}, nil
+}
+
+// ASGD is asynchronous mini-batch SGD (Algorithm 2): the driver broadcasts
+// the model, tasks whichever workers the barrier admits, and applies an
+// update per collected partial without waiting for stragglers. The barrier
+// defaults to ASP; pass core.SSP/MinAvailable/etc. for bounded variants.
+func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	w, err := p.initModel(d.NumCols())
+	if err != nil {
+		return nil, err
+	}
+	st := newStepper(p.Momentum, d.NumCols())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	updates := int64(0)
+	// in-flight tasks reference at most one version per worker, so pruning
+	// the driver store to a few multiples of the pool is safe for SGD
+	// (no history reads)
+	keep := 4 * ac.RDD().Cluster().NumWorkers()
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
+		ac.RDD().PruneBroadcast("sgd.w", keep)
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: ASGD after %d updates: %w", updates, err)
+		}
+		if _, err := ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac)); err != nil {
+			return nil, err
+		}
+		// Block for the first result, then drain whatever else has arrived
+		// (the paper's `while AC.hasNext()` loop).
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			g, ok := tr.Payload.(la.Vec)
+			if !ok {
+				return nil, fmt.Errorf("opt: ASGD payload %T", tr.Payload)
+			}
+			alpha := p.Step.Alpha(updates)
+			if p.StalenessLR {
+				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+			}
+			st.apply(w, g, alpha/float64(tr.Attrs.MiniBatch))
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, w)
+		}
+	}
+	rec.Finish(updates, w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "ASGD", d, rec, p.Loss, fstar), W: w}, nil
+}

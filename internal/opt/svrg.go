@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// VRParams extends Params with the epoch structure of Listing 3.
+type VRParams struct {
+	Params
+	Epochs          int // outer epochs, each starting with a full pass
+	UpdatesPerEpoch int // asynchronous inner updates per epoch
+}
+
+// EpochVR is the epoch-based variance-reduced scheme of Listing 3 (SVRG
+// style): each epoch synchronously computes the full gradient μ = ∇F(w̃) at
+// the anchor w̃ via a BSP reduction, then runs asynchronous inner updates
+//
+//	w ← w − α·[ (∇f_S(w) − ∇f_S(w̃))/b + μ ]
+//
+// mixing synchronous Spark-style actions with ASYNC's asynchronous
+// reductions, which is exactly the pattern the listing demonstrates.
+func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	if p.Epochs <= 0 || p.UpdatesPerEpoch <= 0 {
+		return nil, fmt.Errorf("opt: EpochVR needs positive Epochs and UpdatesPerEpoch")
+	}
+	w := la.NewVec(d.NumCols())
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	mu := la.NewVec(d.NumCols())
+	updates := int64(0)
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		// --- synchronous full pass at the anchor (Spark-style reduce) ---
+		anchor := w.Clone()
+		anchorBr := ac.ASYNCbroadcastEager("vr.anchor", anchor)
+		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("opt: EpochVR epoch %d anchor: %w", epoch, err)
+		}
+		n, err := ac.ASYNCreduce(sel, FullGradKernel(p.Loss, anchorBr))
+		if err != nil {
+			return nil, err
+		}
+		mu.Zero()
+		total := 0
+		for i := 0; i < n; i++ {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			la.Axpy(1, tr.Payload.(la.Vec), mu)
+			total += tr.Attrs.MiniBatch
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("opt: EpochVR epoch %d: empty full pass", epoch)
+		}
+		la.Scale(1/float64(total), mu)
+		// --- asynchronous inner loop ---
+		target := updates + int64(p.UpdatesPerEpoch)
+		for updates < target {
+			wBr := ac.ASYNCbroadcast("vr.w", w.Clone())
+			sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("opt: EpochVR inner: %w", err)
+			}
+			if _, err := ac.ASYNCreduce(sel, VRKernel(p.Loss, wBr, anchorBr, p.SampleFrac)); err != nil {
+				return nil, err
+			}
+			for first := true; (first || ac.HasNext()) && updates < target; first = false {
+				tr, err := ac.ASYNCcollectAll()
+				if err != nil {
+					break
+				}
+				diff, ok := tr.Payload.(la.Vec)
+				if !ok {
+					return nil, fmt.Errorf("opt: EpochVR payload %T", tr.Payload)
+				}
+				alpha := p.Step.Alpha(updates)
+				if p.StalenessLR {
+					alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+				}
+				la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), diff, w)
+				la.Axpy(-alpha, mu, w)
+				updates = ac.AdvanceClock()
+				rec.Maybe(updates, w)
+			}
+		}
+		// drain stragglers from this epoch before re-anchoring
+		drain(ac, 5*time.Second)
+	}
+	rec.Finish(updates, w)
+	return &Result{Trace: newTrace(ac, "EpochVR", d, rec, p.Loss, fstar), W: w}, nil
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// Top-k gradient sparsification: workers ship only the k largest-magnitude
+// gradient coordinates per partial. A common communication-efficiency
+// technique in asynchronous parameter-server systems; here it is an
+// extension showing the engine is payload-agnostic — the driver just
+// applies sparse updates.
+
+// TopK returns the sparse vector keeping the k largest-|value| entries of g.
+func TopK(g la.Vec, k int) la.SparseVec {
+	if k <= 0 {
+		return la.SparseVec{N: len(g)}
+	}
+	if k >= len(g) {
+		return la.SparseFromDense(g)
+	}
+	type kv struct {
+		j int32
+		v float64
+	}
+	entries := make([]kv, 0, len(g))
+	for j, v := range g {
+		if v != 0 {
+			entries = append(entries, kv{int32(j), v})
+		}
+	}
+	if len(entries) > k {
+		sort.Slice(entries, func(a, b int) bool {
+			av, bv := entries[a].v, entries[b].v
+			if av < 0 {
+				av = -av
+			}
+			if bv < 0 {
+				bv = -bv
+			}
+			return av > bv
+		})
+		entries = entries[:k]
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].j < entries[b].j })
+	idx := make([]int32, len(entries))
+	val := make([]float64, len(entries))
+	for i, e := range entries {
+		idx[i] = e.j
+		val[i] = e.v
+	}
+	return la.SparseVec{Idx: idx, Val: val, N: len(g)}
+}
+
+func init() {
+	gob.Register(la.SparseVec{})
+}
+
+// SparseGradKernel is GradKernel with top-k sparsification of the locally
+// reduced gradient before submission.
+func SparseGradKernel(loss Loss, wBr core.DynBroadcast, frac float64, k int) core.Kernel {
+	dense := GradKernel(loss, wBr, frac)
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		v, n, err := dense(env, parts, seed)
+		if err != nil || v == nil {
+			return v, n, err
+		}
+		g, err := asVec(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		return TopK(g, k), n, nil
+	}
+}
+
+// SparseASGD is ASGD with top-k sparsified partials: identical driver loop,
+// but each collected payload is a sparse vector carrying only k = ⌈topKFrac
+// × cols⌉ coordinates. Returns the run result plus the number of gradient
+// coordinates actually shipped (for communication accounting).
+func SparseASGD(ac *core.Context, d *dataset.Dataset, p Params, topKFrac float64, fstar float64) (*Result, int64, error) {
+	if err := p.defaults(); err != nil {
+		return nil, 0, err
+	}
+	if topKFrac <= 0 || topKFrac > 1 {
+		return nil, 0, fmt.Errorf("opt: top-k fraction %v outside (0,1]", topKFrac)
+	}
+	cols := d.NumCols()
+	k := int(topKFrac * float64(cols))
+	if k < 1 {
+		k = 1
+	}
+	w, err := p.initModel(cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := NewRecorder(p.SnapshotEvery)
+	rec.Force(0, w)
+	updates := int64(0)
+	var coordsShipped int64
+	keep := 4 * ac.RDD().Cluster().NumWorkers()
+	for updates < int64(p.Updates) {
+		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
+		ac.RDD().PruneBroadcast("sgd.w", keep)
+		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
+		if err != nil {
+			return nil, coordsShipped, fmt.Errorf("opt: SparseASGD after %d updates: %w", updates, err)
+		}
+		if _, err := ac.ASYNCreduce(sel, SparseGradKernel(p.Loss, wBr, p.SampleFrac, k)); err != nil {
+			return nil, coordsShipped, err
+		}
+		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				break
+			}
+			g, ok := tr.Payload.(la.SparseVec)
+			if !ok {
+				return nil, coordsShipped, fmt.Errorf("opt: SparseASGD payload %T", tr.Payload)
+			}
+			coordsShipped += int64(g.NNZ())
+			alpha := p.Step.Alpha(updates)
+			if p.StalenessLR {
+				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
+			}
+			g.AxpyDense(-alpha/float64(tr.Attrs.MiniBatch), w)
+			updates = ac.AdvanceClock()
+			rec.Maybe(updates, w)
+		}
+	}
+	rec.Finish(updates, w)
+	drain(ac, 5*time.Second)
+	return &Result{Trace: newTrace(ac, "ASGD-topk", d, rec, p.Loss, fstar), W: w}, coordsShipped, nil
+}

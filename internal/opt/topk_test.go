@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+)
+
+func TestTopKBasics(t *testing.T) {
+	g := la.Vec{0.1, -5, 0, 3, -0.2}
+	s := TopK(g, 2)
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz = %d", s.NNZ())
+	}
+	d := s.Dense()
+	if d[1] != -5 || d[3] != 3 {
+		t.Fatalf("kept %v", d)
+	}
+	if d[0] != 0 || d[2] != 0 || d[4] != 0 {
+		t.Fatalf("dropped coords nonzero: %v", d)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	g := la.Vec{1, 2, 3}
+	if TopK(g, 0).NNZ() != 0 {
+		t.Fatal("k=0 kept entries")
+	}
+	if TopK(g, 10).NNZ() != 3 {
+		t.Fatal("k>len dropped entries")
+	}
+	zero := la.NewVec(4)
+	if TopK(zero, 2).NNZ() != 0 {
+		t.Fatal("zeros kept")
+	}
+}
+
+// TestPropTopKKeepsLargest: every kept coordinate has magnitude ≥ every
+// dropped one, indices are sorted, and at most k entries survive.
+func TestPropTopKKeepsLargest(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		g := make(la.Vec, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			g[i] = math.Mod(x, 1e6)
+		}
+		k := int(kRaw%16) + 1
+		s := TopK(g, k)
+		if s.NNZ() > k {
+			return false
+		}
+		kept := map[int32]bool{}
+		minKept := math.Inf(1)
+		prev := int32(-1)
+		for i, j := range s.Idx {
+			if j <= prev {
+				return false // unsorted
+			}
+			prev = j
+			kept[j] = true
+			if a := math.Abs(s.Val[i]); a < minKept {
+				minKept = a
+			}
+			if s.Val[i] != g[j] {
+				return false // value altered
+			}
+		}
+		if s.NNZ() == k {
+			for j, v := range g {
+				if !kept[int32(j)] && math.Abs(v) > minKept {
+					return false // dropped something larger than a kept entry
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseASGDConverges(t *testing.T) {
+	r := newRig(t, 4, 8, nil)
+	res, coords, err := SparseASGD(r.ac, r.d, Params{
+		Step: Scaled{Base: InvSqrt{A: 0.08}, Factor: 4}, SampleFrac: 0.4,
+		Updates: 800, SnapshotEvery: 200,
+	}, 0.5, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 5)
+	// with top-50%, at most half the coordinates per update crossed
+	maxCoords := int64(800) * int64(r.d.NumCols()) / 2
+	if coords == 0 || coords > maxCoords {
+		t.Fatalf("coords shipped %d, want (0, %d]", coords, maxCoords)
+	}
+}
+
+func TestSparseASGDValidation(t *testing.T) {
+	r := newRig(t, 1, 1, nil)
+	p := Params{Step: Constant{A: 0.01}, SampleFrac: 0.5, Updates: 1}
+	if _, _, err := SparseASGD(r.ac, r.d, p, 0, r.fstar); err == nil {
+		t.Fatal("zero top-k fraction accepted")
+	}
+	if _, _, err := SparseASGD(r.ac, r.d, p, 1.5, r.fstar); err == nil {
+		t.Fatal("top-k fraction > 1 accepted")
+	}
+}

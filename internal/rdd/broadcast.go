@@ -1,0 +1,113 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcast is a Spark-style broadcast variable: the driver wraps a value,
+// pushes it to every worker eagerly, and tasks read it by id. Each call to
+// Context.Broadcast ships the whole value to every worker — the overhead
+// the ASYNCbroadcaster exists to avoid when history is needed (§4.3).
+type Broadcast struct {
+	ID      string
+	Version int64
+}
+
+var bcastSeq atomic.Int64
+
+// driverStore keeps driver-side copies so the fetch path can serve workers
+// that missed the eager push (e.g. a worker recovered after a crash).
+type driverStore struct {
+	mu   sync.RWMutex
+	vals map[string]map[int64]any
+}
+
+func newDriverStore() *driverStore {
+	return &driverStore{vals: map[string]map[int64]any{}}
+}
+
+func (s *driverStore) put(id string, ver int64, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.vals[id]
+	if !ok {
+		m = map[int64]any{}
+		s.vals[id] = m
+	}
+	m[ver] = v
+}
+
+// prune drops all but the newest keep versions of id.
+func (s *driverStore) prune(id string, keep int) {
+	if keep < 1 {
+		keep = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.vals[id]
+	for len(m) > keep {
+		oldest := int64(-1)
+		for ver := range m {
+			if oldest < 0 || ver < oldest {
+				oldest = ver
+			}
+		}
+		delete(m, oldest)
+	}
+}
+
+func (s *driverStore) get(id string, ver int64) (any, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[id][ver]
+	if !ok {
+		return nil, fmt.Errorf("rdd: broadcast %s@%d not found on driver", id, ver)
+	}
+	return v, nil
+}
+
+// ensureStore lazily installs the driver store and fetch handler.
+func (ctx *Context) ensureStore() *driverStore {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.store == nil {
+		ctx.store = newDriverStore()
+		ctx.c.SetFetchHandler(ctx.store.get)
+	}
+	return ctx.store
+}
+
+// Broadcast ships value to every live worker (Spark semantics: the full
+// value goes out on every call) and returns a handle tasks can dereference
+// with BroadcastValue.
+func (ctx *Context) Broadcast(id string, value any) Broadcast {
+	ver := bcastSeq.Add(1)
+	ctx.ensureStore().put(id, ver, value)
+	ctx.c.PushAll(id, ver, value)
+	return Broadcast{ID: id, Version: ver}
+}
+
+// BroadcastQuiet registers the value on the driver only; workers resolve it
+// lazily through the fetch path. This is the building block the
+// ASYNCbroadcaster uses: re-broadcasting costs an (id, version) pair, not
+// the value.
+func (ctx *Context) BroadcastQuiet(id string, value any) Broadcast {
+	ver := bcastSeq.Add(1)
+	ctx.ensureStore().put(id, ver, value)
+	return Broadcast{ID: id, Version: ver}
+}
+
+// DriverValue reads a broadcast value from the driver store (driver side).
+func (ctx *Context) DriverValue(b Broadcast) (any, error) {
+	return ctx.ensureStore().get(b.ID, b.Version)
+}
+
+// PruneBroadcast drops all but the newest keep versions of a broadcast id
+// from the driver store. Safe only for ids whose history is never read
+// (e.g. plain SGD model broadcasts); history-dependent methods like SAGA
+// must keep every version still referenced.
+func (ctx *Context) PruneBroadcast(id string, keep int) {
+	ctx.ensureStore().prune(id, keep)
+}
