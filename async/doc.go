@@ -1,0 +1,34 @@
+// Package async is the public facade of the ASYNC engine reproduction
+// (Soori et al., IPDPS 2020): one blessed entry point that owns the
+// cluster, the RDD dataflow context and the Asynchronous Context (AC), and
+// runs any registered optimization method by name.
+//
+// The five hand-wired setup steps the internal packages require
+// (cluster.NewLocal → rdd.NewContext → core.New → distribute → opt.<Algo>)
+// collapse into three calls:
+//
+//	eng, err := async.New(async.WithWorkers(4), async.WithSeed(1))
+//	defer eng.Close()
+//	res, err := eng.Solve(ctx, "asgd", d, async.SolveOptions{
+//		Params: opt.Params{Step: opt.InvSqrt{A: 0.01}, SampleFrac: 0.25, Updates: 400},
+//	})
+//
+// Engines are configured with functional options: WithWorkers, WithSeed,
+// WithTransport (Local or TCP), WithBarrier / WithStalenessBound (the
+// default barrier-control policy: ASP, BSP, SSP or any custom predicate),
+// WithPartitions, WithStraggler and WithMinTaskTime.
+//
+// Algorithms are resolved through a name-keyed registry: the paper's
+// methods (sgd, asgd, saga, asaga, svrg, admm, bcd), the Mllib-style
+// baseline (mllib-sgd) and the TCP-transport variants (asgd-remote,
+// asaga-remote) are pre-registered, and new workloads plug in via
+// Register without touching the engine. Solvers receive a context.Context
+// that is threaded down into the AC, so cancellation or a deadline aborts
+// barrier waits and result collection mid-run.
+//
+// For drivers that need the raw Table-1 primitives (ASYNCbroadcast,
+// ASYNCbarrier, ASYNCreduce, ASYNCcollect), Engine.Context exposes the
+// underlying AC; the barrier and filter constructors (ASP, BSP, SSP,
+// MinAvailable, MaxAvgTaskTime) are re-exported here so such drivers need
+// no internal imports.
+package async

@@ -1,0 +1,239 @@
+package async_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+func tinyData(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.EpsilonLike(dataset.ScaleTiny, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func tinyParams(updates int) opt.Params {
+	return opt.Params{
+		Step:          opt.Constant{A: 0.001},
+		SampleFrac:    0.5,
+		Updates:       updates,
+		SnapshotEvery: 50,
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opt  async.Option
+	}{
+		{"WithWorkers(0)", async.WithWorkers(0)},
+		{"WithWorkers(-3)", async.WithWorkers(-3)},
+		{"WithPartitions(0)", async.WithPartitions(0)},
+		{"WithTransport(nil)", async.WithTransport(nil)},
+		{"WithBarrier(nil)", async.WithBarrier(nil)},
+		{"WithStalenessBound(0)", async.WithStalenessBound(0)},
+		{"WithMinTaskTime(-1)", async.WithMinTaskTime(-time.Millisecond)},
+		{"WithBarrierTimeout(0)", async.WithBarrierTimeout(0)},
+	}
+	for _, tc := range bad {
+		if eng, err := async.New(tc.opt); err == nil {
+			eng.Close()
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	eng, err := async.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.Workers(); got != 4 {
+		t.Fatalf("default workers = %d, want 4", got)
+	}
+	if eng.Points() != nil {
+		t.Fatal("points non-nil before Distribute")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := eng.Distribute(tinyData(t, 1)); !errors.Is(err, async.ErrClosed) {
+		t.Fatalf("Distribute after Close: %v, want ErrClosed", err)
+	}
+	if _, err := eng.Solve(context.Background(), "asgd", tinyData(t, 1),
+		async.SolveOptions{Params: tinyParams(10)}); !errors.Is(err, async.ErrClosed) {
+		t.Fatalf("Solve after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestDistributeReturnsLiveHandle(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithPartitions(4), async.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 2)
+	points, err := eng.Distribute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", points.NumPartitions())
+	}
+	rows, err := points.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != d.NumRows() {
+		t.Fatalf("distributed rows = %d, want %d", rows, d.NumRows())
+	}
+	// idempotent for the same dataset, rejected for a different one
+	again, err := eng.Distribute(d)
+	if err != nil || again != points {
+		t.Fatalf("re-Distribute same dataset: %v, %p vs %p", err, again, points)
+	}
+	if _, err := eng.Distribute(tinyData(t, 3)); err == nil {
+		t.Fatal("second dataset accepted on one engine")
+	}
+}
+
+func TestSolveByName(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 4)
+	res, err := eng.Solve(context.Background(), "ASGD", d, async.SolveOptions{Params: tinyParams(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.W) != d.NumCols() {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	if _, err := eng.Solve(context.Background(), "no-such-algo", d, async.SolveOptions{Params: tinyParams(10)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSolveCancellationMidRun(t *testing.T) {
+	eng, err := async.New(
+		async.WithWorkers(2),
+		async.WithSeed(11),
+		async.WithMinTaskTime(2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	// a budget far beyond what 50ms of 2ms-floor tasks can deliver
+	_, err = eng.Solve(ctx, "asgd", d, async.SolveOptions{Params: tinyParams(1_000_000)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Solve returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to propagate", elapsed)
+	}
+	// the engine stays usable after a cancelled run
+	if _, err := eng.Solve(context.Background(), "asgd", d, async.SolveOptions{Params: tinyParams(20)}); err != nil {
+		t.Fatalf("Solve after cancellation: %v", err)
+	}
+}
+
+func TestSolveDeadline(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(13), async.WithMinTaskTime(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = eng.Solve(ctx, "saga", tinyData(t, 8), async.SolveOptions{Params: tinyParams(1_000_000)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline Solve returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestMllibSolverHonoursCancellation(t *testing.T) {
+	// mllib-sgd bypasses the AC, so its cancellation path is a per-round
+	// ctx check rather than Context.Bind — it must still stop mid-run.
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(19), async.WithMinTaskTime(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = eng.Solve(ctx, "mllib-sgd", tinyData(t, 10), async.SolveOptions{Params: tinyParams(1_000_000)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mllib-sgd under deadline returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestConcurrentSolveRejected(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(29), async.WithMinTaskTime(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 12)
+	started := make(chan struct{})
+	firstDone := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		close(started)
+		_, err := eng.Solve(ctx, "asgd", d, async.SolveOptions{Params: tinyParams(1_000_000)})
+		firstDone <- err
+	}()
+	<-started
+	time.Sleep(30 * time.Millisecond) // let the first solve get in flight
+	if _, err := eng.Solve(context.Background(), "asgd", d, async.SolveOptions{Params: tinyParams(10)}); !errors.Is(err, async.ErrBusy) {
+		t.Fatalf("second concurrent Solve returned %v, want ErrBusy", err)
+	}
+	cancel()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first solve: %v", err)
+	}
+	// sequential solves still work once the engine is free again
+	if _, err := eng.Solve(context.Background(), "asgd", d, async.SolveOptions{Params: tinyParams(10)}); err != nil {
+		t.Fatalf("Solve after ErrBusy window: %v", err)
+	}
+}
+
+func TestEngineBarrierDefault(t *testing.T) {
+	// An SSP default via WithStalenessBound must flow into solves that
+	// leave Barrier nil; the run should still converge on a tiny budget.
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(17), async.WithStalenessBound(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Solve(context.Background(), "asgd", tinyData(t, 9),
+		async.SolveOptions{Params: tinyParams(30)}); err != nil {
+		t.Fatal(err)
+	}
+}

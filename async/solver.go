@@ -1,0 +1,95 @@
+package async
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+// Solver is the unified interface every optimization method exposes
+// through the facade: a name and a Solve over an engine. The paper's
+// methods are pre-registered (backed by the internal/opt registry); new
+// workloads implement Solver and plug in via Register.
+type Solver interface {
+	Name() string
+	Solve(ctx context.Context, e *Engine, ds *dataset.Dataset, opts SolveOptions) (*Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Solver{}
+)
+
+// Register adds a solver to the public registry under its lowercased
+// name. It fails on an empty name or a name that collides with an already
+// registered solver (including the built-in ones).
+func Register(s Solver) error {
+	if s == nil {
+		return fmt.Errorf("async: Register(nil)")
+	}
+	key := strings.ToLower(s.Name())
+	if key == "" {
+		return fmt.Errorf("async: Register: empty solver name")
+	}
+	if _, err := opt.LookupSolver(key); err == nil {
+		return fmt.Errorf("async: solver %q already registered", key)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		return fmt.Errorf("async: solver %q already registered", key)
+	}
+	registry[key] = s
+	return nil
+}
+
+// Lookup resolves a solver by name (case-insensitive): public
+// registrations first, then the built-in internal registry.
+func Lookup(name string) (Solver, error) {
+	key := strings.ToLower(name)
+	regMu.RLock()
+	s, ok := registry[key]
+	regMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	is, err := opt.LookupSolver(key)
+	if err != nil {
+		return nil, fmt.Errorf("async: unknown solver %q (known: %s)", name, strings.Join(Solvers(), ", "))
+	}
+	return builtinSolver{is}, nil
+}
+
+// Solvers lists every resolvable solver name, sorted.
+func Solvers() []string {
+	names := opt.SolverNames()
+	regMu.RLock()
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// builtinSolver adapts an internal/opt registry entry to the public
+// interface by assembling its SolveRequest from the engine.
+type builtinSolver struct {
+	s opt.Solver
+}
+
+func (b builtinSolver) Name() string { return b.s.Name() }
+
+func (b builtinSolver) Solve(ctx context.Context, e *Engine, ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
+	return b.s.Solve(ctx, opt.SolveRequest{
+		AC:     e.Context(),
+		Points: e.Points(),
+		Data:   ds,
+		Config: opts,
+	})
+}

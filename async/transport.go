@@ -1,0 +1,52 @@
+package async
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/straggler"
+)
+
+// Transport abstracts how an Engine reaches its worker pool.
+type Transport interface {
+	// connect builds the cluster; the returned closer (possibly nil) is
+	// released on Engine.Close after the cluster shuts down.
+	connect(cfg cluster.Config) (*cluster.Cluster, io.Closer, error)
+}
+
+type localTransport struct{}
+
+func (localTransport) connect(cfg cluster.Config) (*cluster.Cluster, io.Closer, error) {
+	c, err := cluster.NewLocal(cfg)
+	return c, nil, err
+}
+
+// Local runs workers as in-process goroutines over channel endpoints — the
+// default transport.
+func Local() Transport { return localTransport{} }
+
+type tcpTransport struct{ addr string }
+
+func (t tcpTransport) connect(cfg cluster.Config) (*cluster.Cluster, io.Closer, error) {
+	c, ln, err := cluster.ListenTCP(t.addr, cfg.NumWorkers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, ln, nil
+}
+
+// TCP listens on addr and blocks engine construction until the configured
+// number of workers (started with ServeWorker, typically separate
+// processes) have connected. Straggler models and task-time floors are
+// worker-side settings on this transport: pass them to ServeWorker.
+func TCP(addr string) Transport { return tcpTransport{addr: addr} }
+
+// ServeWorker runs one TCP worker process: it dials the engine's address,
+// registers as worker id, and serves tasks until the connection closes.
+// The delay model (nil = none) and seed are this worker's own.
+func ServeWorker(addr string, id int, delay straggler.Model, seed int64) error {
+	if delay == nil {
+		delay = straggler.None{}
+	}
+	return cluster.DialWorkerTCP(addr, id, delay, seed)
+}

@@ -1,7 +1,8 @@
 // Command asyncd runs the engine over real TCP sockets: one server process
 // and N worker processes. It demonstrates that the ASYNC protocol (tasks,
 // results, installs, versioned broadcast fetches) works across a real
-// transport, running a short ASGD job on a synthetic dataset.
+// transport, running a short ASGD job on a synthetic dataset through the
+// public async facade and its TCP transport.
 //
 // Server (drives the job):
 //
@@ -13,16 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
@@ -46,7 +46,7 @@ func main() {
 		if *delayW == *id {
 			model = straggler.ControlledDelay{Worker: *id, Intensity: 1.0}
 		}
-		if err := cluster.DialWorkerTCP(*addr, *id, model, int64(*id)+1); err != nil {
+		if err := async.ServeWorker(*addr, *id, model, int64(*id)+1); err != nil {
 			fatalf("worker %d: %v", *id, err)
 		}
 	default:
@@ -56,12 +56,15 @@ func main() {
 
 func runServer(addr string, workers, updates int) error {
 	fmt.Fprintf(os.Stderr, "asyncd: waiting for %d workers on %s\n", workers, addr)
-	c, ln, err := cluster.ListenTCP(addr, workers)
+	eng, err := async.New(
+		async.WithWorkers(workers),
+		async.WithTransport(async.TCP(addr)),
+		async.WithPartitions(2*workers),
+	)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	defer c.Shutdown()
+	defer eng.Close()
 	fmt.Fprintf(os.Stderr, "asyncd: %d workers connected\n", workers)
 
 	d, err := dataset.Generate(dataset.MNIST8MLike(dataset.ScaleTiny, 7))
@@ -72,20 +75,17 @@ func runServer(addr string, workers, updates int) error {
 	if err != nil {
 		return err
 	}
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 2*workers); err != nil {
-		return err
-	}
-	ac := core.New(rctx)
-	defer ac.Close()
 	start := time.Now()
-	// RemoteASGD dispatches registered ops (serializable args) rather than
+	// asgd-remote dispatches registered ops (serializable args) rather than
 	// closures, so the whole job runs across the TCP transport.
-	res, err := opt.RemoteASGD(ac, d, opt.Params{
-		Step:       opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: float64(workers)},
-		SampleFrac: 0.5,
-		Updates:    updates,
-	}, fstar)
+	res, err := eng.Solve(context.Background(), "asgd-remote", d, async.SolveOptions{
+		Params: opt.Params{
+			Step:       opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: float64(workers)},
+			SampleFrac: 0.5,
+			Updates:    updates,
+		},
+		FStar: fstar,
+	})
 	if err != nil {
 		return err
 	}

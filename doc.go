@@ -2,13 +2,20 @@
 // with Asynchrony and History for Distributed Machine Learning" (Soori et
 // al., IPDPS 2020; arXiv:1907.08526).
 //
-// The library lives under internal/: a Spark-like dataflow substrate
-// (cluster, rdd), the ASYNC engine itself (core), the optimization methods
-// the paper evaluates (opt), straggler models (straggler), datasets
-// (dataset, la), and one experiment harness per paper table and figure
-// (experiments). bench_test.go in this directory regenerates every table
-// and figure as a Go benchmark; cmd/asyncbench does the same as a CLI.
+// The public API is the top-level async package: async.New builds an
+// Engine with functional options (workers, seed, transport, barrier
+// policy, partitions), and Engine.Solve runs any optimization method
+// registered in the solver registry by name — the paper's methods (sgd,
+// asgd, saga, asaga, svrg, admm, bcd), the Mllib-style baseline, and the
+// TCP-transport variants are pre-registered.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// The machinery lives under internal/: a Spark-like dataflow substrate
+// (cluster, rdd), the ASYNC engine itself (core), the optimization methods
+// the paper evaluates and their registry (opt), straggler models
+// (straggler), datasets (dataset, la), and one experiment harness per
+// paper table and figure (experiments). bench_test.go in this directory
+// regenerates every table and figure as a Go benchmark; cmd/asyncbench
+// does the same as a CLI.
+//
+// See README.md for a quickstart and a tour of the layout.
 package repro

@@ -2,53 +2,48 @@
 // on a distributed least-squares problem, under a straggling worker. Each
 // worker keeps local primal/dual state and solves its proximal subproblem
 // with a local conjugate-gradient solve; only the consensus variable
-// crosses the wire, via the ASYNCbroadcaster.
+// crosses the wire, via the ASYNCbroadcaster. Both variants are the same
+// registered solver run under different barrier policies.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
-func run(name string, barrier core.BarrierFunc) {
-	c, err := cluster.NewLocal(cluster.Config{
-		NumWorkers:  4,
-		Delay:       straggler.ControlledDelay{Worker: 2, Intensity: 1.0},
-		Seed:        6,
-		MinTaskTime: time.Millisecond,
-	})
+func run(name string, barrier async.Barrier) {
+	eng, err := async.New(
+		async.WithWorkers(4),
+		async.WithSeed(6),
+		async.WithPartitions(8),
+		async.WithStraggler(straggler.ControlledDelay{Worker: 2, Intensity: 1.0}),
+		async.WithMinTaskTime(time.Millisecond),
+		async.WithBarrier(barrier),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 	d, err := dataset.Generate(dataset.EpsilonLike(dataset.ScaleTiny, 17))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 8); err != nil {
-		log.Fatal(err)
-	}
-	ac := core.New(rctx)
-	defer ac.Close()
 	_, fstar, err := opt.ReferenceOptimum(d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := opt.ADMM(ac, d, opt.ADMMParams{
-		Rho:      1,
-		Rounds:   40,
-		Barrier:  barrier,
-		Snapshot: 10,
-	}, fstar)
+	res, err := eng.Solve(context.Background(), "admm", d, async.SolveOptions{
+		Params: opt.Params{Updates: 40, SnapshotEvery: 10},
+		FStar:  fstar,
+		ADMM:   opt.ADMMConfig{Rho: 1},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,6 +53,6 @@ func run(name string, barrier core.BarrierFunc) {
 
 func main() {
 	fmt.Println("consensus ADMM on least squares, one worker at half speed")
-	run("ADMM (BSP)", core.BSP())
-	run("ADMM (ASP)", core.ASP())
+	run("ADMM (BSP)", async.BSP())
+	run("ADMM (ASP)", async.ASP())
 }

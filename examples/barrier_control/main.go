@@ -1,7 +1,8 @@
 // barrier_control demonstrates the ASYNCscheduler's barrier-control
 // interface (Listing 2): the same training loop runs under ASP, BSP, SSP
 // and a custom completion-time barrier, each expressed as a predicate over
-// the STAT table.
+// the STAT table. The loop drives the raw Table-1 primitives through
+// Engine.Context — no internal wiring needed.
 package main
 
 import (
@@ -9,36 +10,33 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/la"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
-func train(name string, barrier core.BarrierFunc, filter core.WorkerFilter) {
-	c, err := cluster.NewLocal(cluster.Config{
-		NumWorkers:  4,
-		Delay:       straggler.ControlledDelay{Worker: 3, Intensity: 1.5},
-		Seed:        9,
-		MinTaskTime: time.Millisecond,
-	})
+func train(name string, barrier async.Barrier, filter async.Filter) {
+	eng, err := async.New(
+		async.WithWorkers(4),
+		async.WithSeed(9),
+		async.WithPartitions(8),
+		async.WithStraggler(straggler.ControlledDelay{Worker: 3, Intensity: 1.5}),
+		async.WithMinTaskTime(time.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 	d, err := dataset.Generate(dataset.MNIST8MLike(dataset.ScaleTiny, 4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 8); err != nil {
+	if _, err := eng.Distribute(d); err != nil {
 		log.Fatal(err)
 	}
-	ac := core.New(rctx)
-	defer ac.Close()
+	ac := eng.Context()
 
 	// hand-rolled ASGD loop so the barrier is front and centre
 	w := la.NewVec(d.NumCols())
@@ -74,12 +72,12 @@ func train(name string, barrier core.BarrierFunc, filter core.WorkerFilter) {
 func main() {
 	fmt.Println("one straggling worker (150% delay); same loop, four barrier strategies")
 	// ASP: f: STAT.foreach(true)
-	train("ASP", core.ASP(), nil)
+	train("ASP", async.ASP(), nil)
 	// BSP: f: STAT.foreach(Available_Workers == P)
-	train("BSP", core.BSP(), nil)
+	train("BSP", async.BSP(), nil)
 	// SSP: f: STAT.foreach(MAX_Staleness < s)
-	train("SSP(s=32)", core.SSP(32), nil)
+	train("SSP(s=32)", async.SSP(32), nil)
 	// custom: only task workers whose average completion time is bounded —
 	// the completion-time barrier family of [69]
-	train("AvgTaskTime<4ms", core.ASP(), core.MaxAvgTaskTime(4*time.Millisecond))
+	train("AvgTaskTime<4ms", async.ASP(), async.MaxAvgTaskTime(4*time.Millisecond))
 }

@@ -1,26 +1,25 @@
 // logistic trains a binary classifier with asynchronous SGD on the logistic
 // loss, using a train/test split and reporting held-out accuracy — the
 // ASYNC engine is loss-agnostic, so switching from the paper's least
-// squares to logistic regression is a one-line change in Params.
+// squares to logistic regression is a one-line change in the solve options.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 )
 
 func main() {
-	c, err := cluster.NewLocal(cluster.Config{NumWorkers: 4, Seed: 21})
+	eng, err := async.New(async.WithWorkers(4), async.WithSeed(21), async.WithPartitions(8))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 
 	full, err := dataset.Generate(dataset.RCV1Like(dataset.ScaleTiny, 13))
 	if err != nil {
@@ -33,20 +32,16 @@ func main() {
 	fmt.Printf("train %d rows, test %d rows, %d features\n",
 		train.NumRows(), test.NumRows(), train.NumCols())
 
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(train, 8); err != nil {
-		log.Fatal(err)
-	}
-	ac := core.New(rctx)
-	defer ac.Close()
-
-	res, err := opt.ASGD(ac, train, opt.Params{
-		Loss:          opt.Logistic{},
-		Step:          opt.Constant{A: 0.5},
-		SampleFrac:    0.3,
-		Updates:       600,
-		SnapshotEvery: 150,
-	}, 0) // fstar=0: trace reports raw logistic loss
+	// FStar=0: the trace reports raw logistic loss
+	res, err := eng.Solve(context.Background(), "asgd", train, async.SolveOptions{
+		Params: opt.Params{
+			Loss:          opt.Logistic{},
+			Step:          opt.Constant{A: 0.5},
+			SampleFrac:    0.3,
+			Updates:       600,
+			SnapshotEvery: 150,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,27 +1,30 @@
-// Quickstart: build an in-process cluster, distribute a synthetic
-// least-squares dataset, and train it with asynchronous SGD (Algorithm 2)
-// through the ASYNC engine. Prints the convergence trace and per-worker
-// wait times.
+// Quickstart: build an engine over an in-process cluster, distribute a
+// synthetic least-squares dataset, and train it with asynchronous SGD
+// (Algorithm 2) by name through the solver registry. Prints the
+// convergence trace and per-worker wait times.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 )
 
 func main() {
-	// 1. A local "cluster": 4 worker goroutines with channel transports.
-	c, err := cluster.NewLocal(cluster.Config{NumWorkers: 4, Seed: 1})
+	// 1. The engine: 4 local workers, 8 data partitions, ASP by default.
+	eng, err := async.New(
+		async.WithWorkers(4),
+		async.WithSeed(1),
+		async.WithPartitions(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 
 	// 2. A dataset: synthetic analogue of the paper's epsilon dataset.
 	d, err := dataset.Generate(dataset.EpsilonLike(dataset.ScaleTiny, 7))
@@ -30,29 +33,35 @@ func main() {
 	}
 	fmt.Printf("dataset %s: %d x %d\n", d.Name, d.NumRows(), d.NumCols())
 
-	// 3. Distribute it as an RDD (8 partitions, lineage kept for recovery).
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 8); err != nil {
+	// 3. Distribute it as an RDD (lineage kept for recovery); the returned
+	// handle is live — count rows through the cluster to prove placement.
+	points, err := eng.Distribute(d)
+	if err != nil {
 		log.Fatal(err)
 	}
+	rows, err := points.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed %d rows over %d partitions\n", rows, points.NumPartitions())
 
-	// 4. The ASYNC context: coordinator + scheduler + broadcaster.
-	ac := core.New(rctx)
-	defer ac.Close()
-
-	// 5. Reference optimum for error reporting (the paper's baseline run).
+	// 4. Reference optimum for error reporting (the paper's baseline run).
 	_, fstar, err := opt.ReferenceOptimum(d)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 6. Asynchronous SGD: per-result updates, ASP barrier, step = sync/P.
-	res, err := opt.ASGD(ac, d, opt.Params{
-		Step:          opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: 4},
-		SampleFrac:    0.25,
-		Updates:       400,
-		SnapshotEvery: 50,
-	}, fstar)
+	// 5. Asynchronous SGD by registry name: per-result updates, ASP
+	// barrier, step = sync/P.
+	res, err := eng.Solve(context.Background(), "asgd", d, async.SolveOptions{
+		Params: opt.Params{
+			Step:          opt.Scaled{Base: opt.InvSqrt{A: 0.5 / float64(d.NumCols())}, Factor: 4},
+			SampleFrac:    0.25,
+			Updates:       400,
+			SnapshotEvery: 50,
+		},
+		FStar: fstar,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,69 +2,60 @@
 // need per-sample historical gradients, which ASYNC supports by versioned
 // broadcast — the driver re-broadcasts only (id, version); each worker
 // caches the model versions it has seen and resolves w_br.value(index)
-// locally. The example runs both variants under a controlled-delay
-// straggler and reports the value traffic the fetch path actually carried.
+// locally. The example runs both variants through the solver registry
+// under a controlled-delay straggler and reports the value traffic the
+// fetch path actually carried.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
-func run(algo string, async bool) {
+func run(algo string, updates int) {
 	// worker 0 runs at half speed (100% controlled delay)
-	c, err := cluster.NewLocal(cluster.Config{
-		NumWorkers: 4,
-		Delay:      straggler.ControlledDelay{Worker: 0, Intensity: 1.0},
-		Seed:       3,
-	})
+	eng, err := async.New(
+		async.WithWorkers(4),
+		async.WithSeed(3),
+		async.WithPartitions(8),
+		async.WithStraggler(straggler.ControlledDelay{Worker: 0, Intensity: 1.0}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 	d, err := dataset.Generate(dataset.RCV1Like(dataset.ScaleTiny, 11))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 8); err != nil {
-		log.Fatal(err)
-	}
-	ac := core.New(rctx)
-	defer ac.Close()
 	_, fstar, err := opt.ReferenceOptimum(d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	params := opt.Params{
-		Step:          opt.Constant{A: 0.5 / float64(8) / 4},
-		SampleFrac:    0.3,
-		Updates:       200,
-		SnapshotEvery: 50,
-	}
-	var res *opt.Result
-	if async {
-		res, err = opt.ASAGA(ac, d, params, fstar)
-	} else {
-		params.Updates = 50 // BSP rounds: every round consumes all workers
-		res, err = opt.SAGA(ac, d, params, fstar)
-	}
+	res, err := eng.Solve(context.Background(), algo, d, async.SolveOptions{
+		Params: opt.Params{
+			Step:          opt.Constant{A: 0.5 / float64(8) / 4},
+			SampleFrac:    0.3,
+			Updates:       updates,
+			SnapshotEvery: 50,
+		},
+		FStar: fstar,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-6s final error %.4g in %v; broadcast values fetched: %d (ID-only re-broadcast otherwise)\n",
-		algo, res.Trace.FinalError(), res.Trace.Total.Round(1000), c.FetchCount())
+		algo, res.Trace.FinalError(), res.Trace.Total.Round(1000), eng.Cluster().FetchCount())
 }
 
 func main() {
 	fmt.Println("SAGA vs ASAGA with historical gradients under a 100% straggler")
-	run("SAGA", false)
-	run("ASAGA", true)
+	run("saga", 50) // BSP rounds: every round consumes all workers
+	run("asaga", 200)
 }

@@ -10,12 +10,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/async"
 	"repro/internal/dataset"
 	"repro/internal/la"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
@@ -24,25 +22,28 @@ func train(modulate bool) float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := cluster.NewLocal(cluster.Config{NumWorkers: 8, Delay: model, Seed: 2})
+	eng, err := async.New(
+		async.WithWorkers(8),
+		async.WithSeed(2),
+		async.WithPartitions(8),
+		async.WithStraggler(model),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Shutdown()
+	defer eng.Close()
 	d, err := dataset.Generate(dataset.EpsilonLike(dataset.ScaleTiny, 3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(d, 8); err != nil {
+	if _, err := eng.Distribute(d); err != nil {
 		log.Fatal(err)
 	}
-	ac := core.New(rctx)
-	defer ac.Close()
 	_, fstar, err := opt.ReferenceOptimum(d)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ac := eng.Context()
 
 	w := la.NewVec(d.NumCols())
 	loss := opt.LeastSquares{}
@@ -51,7 +52,7 @@ func train(modulate bool) float64 {
 	k := int64(0)
 	for k < updates {
 		wBr := ac.ASYNCbroadcast("w", w.Clone())
-		sel, err := ac.ASYNCbarrier(core.ASP(), nil)
+		sel, err := ac.ASYNCbarrier(async.ASP(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/rdd"
+)
+
+func newTestAC(t *testing.T, workers int) (*Context, func()) {
+	t.Helper()
+	c, err := cluster.NewLocal(cluster.Config{NumWorkers: workers, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := rdd.NewContext(c)
+	d, err := dataset.Generate(dataset.EpsilonLike(dataset.ScaleTiny, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rctx.Distribute(d, 2*workers); err != nil {
+		t.Fatal(err)
+	}
+	ac := New(rctx)
+	return ac, func() { ac.Close(); c.Shutdown() }
+}
+
+func TestBindCancelAbortsCollect(t *testing.T) {
+	ac, done := newTestAC(t, 1)
+	defer done()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := ac.Bind(ctx)
+	defer release()
+
+	// occupy the worker so Collect has something pending to wait on
+	sel, err := ac.ASYNCbarrier(ASP(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.ASYNCreduce(sel, func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		time.Sleep(time.Second)
+		return nil, 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	if _, err := ac.ASYNCcollectAll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect returned %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("Collect did not abort promptly on cancellation")
+	}
+}
+
+func TestBindCancelAbortsBarrier(t *testing.T) {
+	ac, done := newTestAC(t, 1)
+	defer done()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	release := ac.Bind(ctx)
+	defer release()
+	never := func(Stat) bool { return false }
+	start := time.Now()
+	if _, err := ac.ASYNCbarrier(never, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("barrier returned %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("barrier did not abort promptly on deadline")
+	}
+}
+
+func TestBindReleaseRestoresAC(t *testing.T) {
+	ac, done := newTestAC(t, 1)
+	defer done()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // bind an already-cancelled context
+	release := ac.Bind(ctx)
+	if _, err := ac.ASYNCbarrier(ASP(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("barrier under cancelled ctx: %v", err)
+	}
+	release()
+	// after release the AC works again
+	sel, err := ac.ASYNCbarrier(ASP(), nil)
+	if err != nil {
+		t.Fatalf("barrier after release: %v", err)
+	}
+	sel.Release()
+}
+
+func TestBindNilAndBackgroundAreNoops(t *testing.T) {
+	ac, done := newTestAC(t, 1)
+	defer done()
+	release := ac.Bind(nil)
+	release()
+	release = ac.Bind(context.Background())
+	release()
+	sel, err := ac.ASYNCbarrier(ASP(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.Release()
+}
+
+func TestBindLatestWins(t *testing.T) {
+	ac, done := newTestAC(t, 1)
+	defer done()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	rel1 := ac.Bind(ctx1)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	rel2 := ac.Bind(ctx2)
+	defer rel2()
+	cancel1() // the superseded binding must not poison the current one
+	rel1()
+	time.Sleep(10 * time.Millisecond)
+	sel, err := ac.ASYNCbarrier(ASP(), nil)
+	if err != nil {
+		t.Fatalf("barrier under binding 2 after cancel of binding 1: %v", err)
+	}
+	sel.Release()
+}

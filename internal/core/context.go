@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"time"
 
@@ -37,6 +38,15 @@ func (ac *Context) Coordinator() *Coordinator { return ac.coord }
 // Close shuts down the coordinator loop (the cluster itself is owned by the
 // caller).
 func (ac *Context) Close() { ac.coord.Close() }
+
+// Bind attaches a context.Context to the AC: while bound, cancellation or
+// deadline expiry aborts ASYNCcollect/ASYNCcollectAll and ASYNCbarrier with
+// the context's error, making long driver loops interruptible. The returned
+// release function detaches the context and must be called when the run
+// finishes (typically deferred); the AC is reusable afterwards.
+func (ac *Context) Bind(ctx context.Context) (release func()) {
+	return ac.coord.bindContext(ctx)
+}
 
 // STAT snapshots the worker status table (AC.STAT in Table 1).
 func (ac *Context) STAT() Stat { return ac.coord.Stat() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,6 +45,12 @@ type Coordinator struct {
 
 	results chan *cluster.Result
 	done    chan struct{}
+
+	// ctxErr is set (under mu) when a bound context.Context is cancelled;
+	// Collect and barrier waits observe it and fail fast. ctxGen guards
+	// against a stale watcher goroutine clobbering a newer binding.
+	ctxErr error
+	ctxGen int64
 
 	// waitSamples accumulate the per-worker wait-time metric (Fig. 4/6).
 	waitTotal map[int]time.Duration
@@ -332,6 +339,9 @@ func (co *Coordinator) Collect(timeout time.Duration) (TaskResult, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	for len(co.queue) == 0 {
+		if co.ctxErr != nil {
+			return TaskResult{}, co.ctxErr
+		}
 		if co.closed {
 			return TaskResult{}, errors.New("core: coordinator closed")
 		}
@@ -360,6 +370,42 @@ func (co *Coordinator) WaitTimes() map[int]time.Duration {
 		}
 	}
 	return out
+}
+
+// bindContext attaches a context whose cancellation aborts Collect calls
+// and barrier waits with the context's error. It returns a release function
+// that detaches the context (clearing any cancellation error so the
+// coordinator is reusable); bindings do not stack — the latest wins.
+func (co *Coordinator) bindContext(ctx context.Context) (release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	co.mu.Lock()
+	co.ctxGen++
+	gen := co.ctxGen
+	co.ctxErr = ctx.Err()
+	co.mu.Unlock()
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.mu.Lock()
+			if co.ctxGen == gen {
+				co.ctxErr = ctx.Err()
+				co.cond.Broadcast()
+			}
+			co.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		co.mu.Lock()
+		if co.ctxGen == gen {
+			co.ctxErr = nil
+		}
+		co.mu.Unlock()
+	}
 }
 
 // Close stops the coordinator loop.

@@ -107,6 +107,9 @@ func (sc *scheduler) await(f BarrierFunc, filter WorkerFilter, timeout time.Dura
 	sc.coord.mu.Lock()
 	defer sc.coord.mu.Unlock()
 	for {
+		if err := sc.coord.ctxErr; err != nil {
+			return nil, err
+		}
 		st := sc.coord.statLocked()
 		if st.AliveWorkers == 0 {
 			return nil, ErrNoWorkers

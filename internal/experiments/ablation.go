@@ -1,19 +1,31 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"repro/async"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/la"
 	"repro/internal/metrics"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
+
+// newAblationEngine builds the straggler-free 8-worker engine the ablation
+// harnesses share.
+func newAblationEngine(o Options) (*async.Engine, error) {
+	return async.New(
+		async.WithWorkers(cdsWorkers),
+		async.WithSeed(o.Seed),
+		async.WithMinTaskTime(o.MinTask),
+		async.WithPartitions(numPartitions),
+	)
+}
 
 // AblationBroadcast quantifies the ASYNCbroadcaster design (§4.3): SAGA
 // with versioned history broadcast versus the Spark-only full-table
@@ -35,21 +47,20 @@ func AblationBroadcast(o Options) (*metrics.Table, error) {
 
 	// Spark-style: full history table with every broadcast.
 	{
-		c, err := cluster.NewLocal(cluster.Config{NumWorkers: cdsWorkers, Seed: o.Seed, MinTaskTime: o.MinTask})
+		eng, err := newAblationEngine(o)
 		if err != nil {
 			return nil, err
 		}
-		rctx := rdd.NewContext(c)
-		points, err := rctx.Distribute(pr.d, numPartitions)
+		points, err := eng.Distribute(pr.d)
 		if err != nil {
-			c.Shutdown()
+			eng.Close()
 			return nil, err
 		}
-		res, bytes, err := opt.SAGAFullTableBroadcast(rctx, points, pr.d, opt.Params{
+		res, bytes, err := opt.SAGAFullTableBroadcast(eng.RDD(), points, pr.d, opt.Params{
 			Step: stepFor(AlgoSAGA, cfg, cdsWorkers), SampleFrac: frac,
 			Updates: updates, SnapshotEvery: o.SnapshotEvery,
 		}, pr.fstar)
-		c.Shutdown()
+		eng.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -65,23 +76,19 @@ func AblationBroadcast(o Options) (*metrics.Table, error) {
 
 	// ASYNC: versioned broadcast, value fetched at most once per worker.
 	{
-		c, err := cluster.NewLocal(cluster.Config{NumWorkers: cdsWorkers, Seed: o.Seed, MinTaskTime: o.MinTask})
+		eng, err := newAblationEngine(o)
 		if err != nil {
 			return nil, err
 		}
-		rctx := rdd.NewContext(c)
-		if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
-			c.Shutdown()
-			return nil, err
-		}
-		ac := core.New(rctx)
-		res, err := opt.SAGA(ac, pr.d, opt.Params{
-			Step: stepFor(AlgoSAGA, cfg, cdsWorkers), SampleFrac: frac,
-			Updates: updates, SnapshotEvery: o.SnapshotEvery,
-		}, pr.fstar)
-		bytes := c.FetchCount() * int64(pr.d.NumCols()) * 8
-		ac.Close()
-		c.Shutdown()
+		res, err := eng.Solve(context.Background(), "saga", pr.d, async.SolveOptions{
+			Params: opt.Params{
+				Step: stepFor(AlgoSAGA, cfg, cdsWorkers), SampleFrac: frac,
+				Updates: updates, SnapshotEvery: o.SnapshotEvery,
+			},
+			FStar: pr.fstar,
+		})
+		bytes := eng.Cluster().FetchCount() * int64(pr.d.NumCols()) * 8
+		eng.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -152,16 +159,16 @@ func AblationLocalReduce(o Options) (*metrics.Table, error) {
 	loss := opt.LeastSquares{}
 	step := stepFor(AlgoASGD, cfg, cdsWorkers)
 	for _, mode := range []string{"local-reduce", "per-sample"} {
-		c, err := cluster.NewLocal(cluster.Config{NumWorkers: cdsWorkers, Seed: o.Seed, MinTaskTime: o.MinTask})
+		eng, err := newAblationEngine(o)
 		if err != nil {
 			return nil, err
 		}
-		rctx := rdd.NewContext(c)
-		if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
-			c.Shutdown()
+		if _, err := eng.Distribute(pr.d); err != nil {
+			eng.Close()
 			return nil, err
 		}
-		ac := core.New(rctx)
+		ac := eng.Context()
+		rctx := eng.RDD()
 		w := la.NewVec(pr.d.NumCols())
 		collected := 0
 		var samples, vecsShipped int64
@@ -171,8 +178,7 @@ func AblationLocalReduce(o Options) (*metrics.Table, error) {
 			rctx.PruneBroadcast("abl.w", 4*cdsWorkers)
 			sel, err := ac.ASYNCbarrier(core.ASP(), nil)
 			if err != nil {
-				ac.Close()
-				c.Shutdown()
+				eng.Close()
 				return nil, err
 			}
 			var kern core.Kernel
@@ -182,8 +188,7 @@ func AblationLocalReduce(o Options) (*metrics.Table, error) {
 				kern = perSampleKernel(loss, wBr, frac)
 			}
 			if _, err := ac.ASYNCreduce(sel, kern); err != nil {
-				ac.Close()
-				c.Shutdown()
+				eng.Close()
 				return nil, err
 			}
 			for first := true; (first || ac.HasNext()) && collected < tasks; first = false {
@@ -212,8 +217,7 @@ func AblationLocalReduce(o Options) (*metrics.Table, error) {
 		}
 		total := time.Since(start)
 		finalErr := opt.Objective(pr.d, loss, w) - pr.fstar
-		ac.Close()
-		c.Shutdown()
+		eng.Close()
 		tb.Rows = append(tb.Rows, metrics.Row{
 			Label: mode,
 			Values: map[string]string{

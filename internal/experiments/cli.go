@@ -30,103 +30,123 @@ func WriteSeriesCSV(dir string, series []Series) error {
 	return nil
 }
 
+// printer bundles the output sinks an experiment writes to.
+type printer struct {
+	o Options
+	w io.Writer
+}
+
+func (p printer) series(series []Series) {
+	for _, s := range series {
+		fmt.Fprintf(p.w, "--- %s\n%s", s.Label, s.Trace.Format())
+	}
+	if p.o.CSVDir != "" {
+		if err := WriteSeriesCSV(p.o.CSVDir, series); err != nil {
+			fmt.Fprintf(p.w, "# csv export failed: %v\n", err)
+		}
+	}
+}
+
+func (p printer) table(tb interface{ Format() string }, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(p.w, tb.Format())
+	return nil
+}
+
+// experimentReg maps experiment ids to runners; experimentOrder preserves
+// presentation order for IDs(). Experiments register here instead of
+// occupying arms of a switch, mirroring the solver registry.
+var (
+	experimentOrder []string
+	experimentReg   = map[string]func(o Options, p printer) error{}
+)
+
+func registerExperiment(id string, fn func(o Options, p printer) error) {
+	if _, dup := experimentReg[id]; dup {
+		panic("experiments: duplicate experiment id " + id)
+	}
+	experimentOrder = append(experimentOrder, id)
+	experimentReg[id] = fn
+}
+
+// tableExperiment adapts a table harness to the registry signature.
+func tableExperiment[T interface{ Format() string }](f func(Options) (T, error)) func(Options, printer) error {
+	return func(o Options, p printer) error {
+		tb, err := f(o)
+		return p.table(tb, err)
+	}
+}
+
+// cdsFigure adapts a controlled-delay-straggler sweep: the error curves
+// plus speedups (fig 3/5), or the wait-time table (fig 4/6).
+func cdsFigure(pair Pair, waitTitle string, curves bool) func(Options, printer) error {
+	return func(o Options, p printer) error {
+		series, err := CDS(o, pair)
+		if err != nil {
+			return err
+		}
+		if curves {
+			p.series(series)
+			fmt.Fprint(p.w, Speedups(series).Format())
+		} else {
+			fmt.Fprint(p.w, WaitTable(waitTitle, series).Format())
+		}
+		return nil
+	}
+}
+
+// pcsFigure adapts a production-cluster-straggler sweep (fig 7/8).
+func pcsFigure(pair Pair) func(Options, printer) error {
+	return func(o Options, p printer) error {
+		series, err := PCS(o, pair)
+		if err != nil {
+			return err
+		}
+		p.series(series)
+		fmt.Fprint(p.w, Speedups(series).Format())
+		return nil
+	}
+}
+
+func init() {
+	registerExperiment("table2", tableExperiment(Table2))
+	registerExperiment("fig2", func(o Options, p printer) error {
+		series, err := Fig2(o)
+		if err != nil {
+			return err
+		}
+		p.series(series)
+		return nil
+	})
+	registerExperiment("fig3", cdsFigure(SGDPair, "", true))
+	registerExperiment("fig4", cdsFigure(SGDPair, "Fig 4: average wait time per iteration (8 workers, SGD vs ASGD)", false))
+	registerExperiment("fig5", cdsFigure(SAGAPair, "", true))
+	registerExperiment("fig6", cdsFigure(SAGAPair, "Fig 6: average wait time per iteration (8 workers, SAGA vs ASAGA)", false))
+	registerExperiment("fig7", pcsFigure(SGDPair))
+	registerExperiment("fig8", pcsFigure(SAGAPair))
+	registerExperiment("table3", tableExperiment(Table3))
+	registerExperiment("ablation-broadcast", tableExperiment(AblationBroadcast))
+	registerExperiment("ablation-localreduce", tableExperiment(AblationLocalReduce))
+	registerExperiment("ablation-barrier", tableExperiment(AblationBarrier))
+	registerExperiment("ablation-staleness", tableExperiment(AblationStalenessLR))
+	registerExperiment("ext-sspsweep", tableExperiment(SSPSweep))
+	registerExperiment("ext-staleness-dist", tableExperiment(StalenessDistribution))
+}
+
 // IDs lists every experiment id Run accepts, in presentation order.
 func IDs() []string {
-	return []string{
-		"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"table3", "ablation-broadcast", "ablation-localreduce",
-		"ablation-barrier", "ablation-staleness",
-		"ext-sspsweep", "ext-staleness-dist",
-	}
+	return append([]string(nil), experimentOrder...)
 }
 
 // Run executes one experiment by id and writes its output (series and/or
 // tables) to w. It is the engine behind cmd/asyncbench. When o.CSVDir is
 // set, figure series are additionally written there as CSV files.
 func Run(o Options, id string, w io.Writer) error {
-	printSeries := func(series []Series) {
-		for _, s := range series {
-			fmt.Fprintf(w, "--- %s\n%s", s.Label, s.Trace.Format())
-		}
-		if o.CSVDir != "" {
-			if err := WriteSeriesCSV(o.CSVDir, series); err != nil {
-				fmt.Fprintf(w, "# csv export failed: %v\n", err)
-			}
-		}
-	}
-	printTable := func(tb interface{ Format() string }, err error) error {
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, tb.Format())
-		return nil
-	}
-	switch strings.ToLower(id) {
-	case "table2":
-		tb, err := Table2(o)
-		return printTable(tb, err)
-	case "fig2":
-		series, err := Fig2(o)
-		if err != nil {
-			return err
-		}
-		printSeries(series)
-	case "fig3", "fig4":
-		series, err := CDS(o, SGDPair)
-		if err != nil {
-			return err
-		}
-		if strings.EqualFold(id, "fig3") {
-			printSeries(series)
-			fmt.Fprint(w, Speedups(series).Format())
-		} else {
-			fmt.Fprint(w, WaitTable("Fig 4: average wait time per iteration (8 workers, SGD vs ASGD)", series).Format())
-		}
-	case "fig5", "fig6":
-		series, err := CDS(o, SAGAPair)
-		if err != nil {
-			return err
-		}
-		if strings.EqualFold(id, "fig5") {
-			printSeries(series)
-			fmt.Fprint(w, Speedups(series).Format())
-		} else {
-			fmt.Fprint(w, WaitTable("Fig 6: average wait time per iteration (8 workers, SAGA vs ASAGA)", series).Format())
-		}
-	case "fig7", "fig8":
-		pair := SGDPair
-		if strings.EqualFold(id, "fig8") {
-			pair = SAGAPair
-		}
-		series, err := PCS(o, pair)
-		if err != nil {
-			return err
-		}
-		printSeries(series)
-		fmt.Fprint(w, Speedups(series).Format())
-	case "table3":
-		tb, err := Table3(o)
-		return printTable(tb, err)
-	case "ablation-broadcast":
-		tb, err := AblationBroadcast(o)
-		return printTable(tb, err)
-	case "ablation-localreduce":
-		tb, err := AblationLocalReduce(o)
-		return printTable(tb, err)
-	case "ablation-barrier":
-		tb, err := AblationBarrier(o)
-		return printTable(tb, err)
-	case "ablation-staleness":
-		tb, err := AblationStalenessLR(o)
-		return printTable(tb, err)
-	case "ext-sspsweep":
-		tb, err := SSPSweep(o)
-		return printTable(tb, err)
-	case "ext-staleness-dist":
-		tb, err := StalenessDistribution(o)
-		return printTable(tb, err)
-	default:
+	fn, ok := experimentReg[strings.ToLower(id)]
+	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return nil
+	return fn(o, printer{o: o, w: w})
 }

@@ -13,17 +13,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/async"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
@@ -171,7 +171,10 @@ func stepFor(algo Algo, cfg dataset.SynthConfig, workers int) opt.Schedule {
 	}
 }
 
-// run executes one spec on a fresh local cluster and returns its trace.
+// run executes one spec on a fresh engine and returns its trace. The
+// algorithm is resolved through the solver registry: spec.Algo values are
+// registry names up to case ("ASGD" → "asgd"), so new methods plug in by
+// registration, not another switch arm.
 func run(o Options, cfg dataset.SynthConfig, spec RunSpec) (*metrics.Trace, error) {
 	pr, err := getProblem(cfg)
 	if err != nil {
@@ -181,53 +184,30 @@ func run(o Options, cfg dataset.SynthConfig, spec RunSpec) (*metrics.Trace, erro
 	if delay == nil {
 		delay = straggler.None{}
 	}
-	c, err := cluster.NewLocal(cluster.Config{
-		NumWorkers:  spec.Workers,
-		Delay:       delay,
-		Seed:        o.Seed + 101,
-		MinTaskTime: o.MinTask,
+	eng, err := async.New(
+		async.WithWorkers(spec.Workers),
+		async.WithSeed(o.Seed+101),
+		async.WithStraggler(delay),
+		async.WithMinTaskTime(o.MinTask),
+		async.WithPartitions(numPartitions),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	res, err := eng.Solve(context.Background(), string(spec.Algo), pr.d, async.SolveOptions{
+		Params: opt.Params{
+			Step:          stepFor(spec.Algo, cfg, spec.Workers),
+			SampleFrac:    effFrac(o.Scale, spec.Frac),
+			Updates:       spec.Updates,
+			SnapshotEvery: o.SnapshotEvery,
+			StalenessLR:   spec.StalenessLR,
+			Barrier:       spec.Barrier,
+		},
+		FStar: pr.fstar,
 	})
 	if err != nil {
 		return nil, err
-	}
-	defer c.Shutdown()
-	rctx := rdd.NewContext(c)
-	points, err := rctx.Distribute(pr.d, numPartitions)
-	if err != nil {
-		return nil, err
-	}
-	params := opt.Params{
-		Step:          stepFor(spec.Algo, cfg, spec.Workers),
-		SampleFrac:    effFrac(o.Scale, spec.Frac),
-		Updates:       spec.Updates,
-		SnapshotEvery: o.SnapshotEvery,
-		StalenessLR:   spec.StalenessLR,
-		Barrier:       spec.Barrier,
-	}
-	var res *opt.Result
-	if spec.Algo == AlgoMllibSGD {
-		res, err = opt.MllibSGD(rctx, points, pr.d, params, pr.fstar)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		ac := core.New(rctx)
-		defer ac.Close()
-		switch spec.Algo {
-		case AlgoSGD:
-			res, err = opt.SyncSGD(ac, pr.d, params, pr.fstar)
-		case AlgoASGD:
-			res, err = opt.ASGD(ac, pr.d, params, pr.fstar)
-		case AlgoSAGA:
-			res, err = opt.SAGA(ac, pr.d, params, pr.fstar)
-		case AlgoASAGA:
-			res, err = opt.ASAGA(ac, pr.d, params, pr.fstar)
-		default:
-			return nil, fmt.Errorf("experiments: unknown algorithm %q", spec.Algo)
-		}
-		if err != nil {
-			return nil, err
-		}
 	}
 	res.Trace.Straggler = delay.Name()
 	o.logf("  %-10s %-14s straggler=%-10s total=%8.1fms final-err=%.4g",

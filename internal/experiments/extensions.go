@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/async"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/opt"
-	"repro/internal/rdd"
 	"repro/internal/straggler"
 )
 
@@ -45,35 +45,35 @@ func SSPSweep(o Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c, err := cluster.NewLocal(cluster.Config{
-			NumWorkers: cdsWorkers, Delay: delay, Seed: o.Seed, MinTaskTime: o.MinTask,
-		})
+		eng, err := async.New(
+			async.WithWorkers(cdsWorkers),
+			async.WithSeed(o.Seed),
+			async.WithStraggler(delay),
+			async.WithMinTaskTime(o.MinTask),
+			async.WithPartitions(numPartitions),
+			async.WithBarrier(e.barrier),
+		)
 		if err != nil {
 			return nil, err
 		}
-		rctx := rdd.NewContext(c)
-		if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
-			c.Shutdown()
-			return nil, err
-		}
-		ac := core.New(rctx)
-		res, err := opt.ASGD(ac, pr.d, opt.Params{
-			Step:          stepFor(AlgoASGD, cfg, cdsWorkers),
-			SampleFrac:    effFrac(o.Scale, fracSGD(cfg.Name)),
-			Updates:       updates,
-			SnapshotEvery: o.SnapshotEvery,
-			Barrier:       e.barrier,
-		}, pr.fstar)
+		res, err := eng.Solve(context.Background(), "asgd", pr.d, async.SolveOptions{
+			Params: opt.Params{
+				Step:          stepFor(AlgoASGD, cfg, cdsWorkers),
+				SampleFrac:    effFrac(o.Scale, fracSGD(cfg.Name)),
+				Updates:       updates,
+				SnapshotEvery: o.SnapshotEvery,
+			},
+			FStar: pr.fstar,
+		})
 		var maxStale int64
 		if err == nil {
-			for s := range ac.Coordinator().StalenessHistogram() {
+			for s := range eng.Context().Coordinator().StalenessHistogram() {
 				if s > maxStale {
 					maxStale = s
 				}
 			}
 		}
-		ac.Close()
-		c.Shutdown()
+		eng.Close()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SSP sweep %s: %w", e.name, err)
 		}
@@ -104,28 +104,29 @@ func StalenessDistribution(o Options) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := cluster.NewLocal(cluster.Config{
-		NumWorkers: pcsWorkers, Delay: model, Seed: o.Seed, MinTaskTime: o.MinTask,
-	})
+	eng, err := async.New(
+		async.WithWorkers(pcsWorkers),
+		async.WithSeed(o.Seed),
+		async.WithStraggler(model),
+		async.WithMinTaskTime(o.MinTask),
+		async.WithPartitions(numPartitions),
+	)
 	if err != nil {
 		return nil, err
 	}
-	defer c.Shutdown()
-	rctx := rdd.NewContext(c)
-	if _, err := rctx.Distribute(pr.d, numPartitions); err != nil {
+	defer eng.Close()
+	if _, err := eng.Solve(context.Background(), "asgd", pr.d, async.SolveOptions{
+		Params: opt.Params{
+			Step:          stepFor(AlgoASGD, cfg, pcsWorkers),
+			SampleFrac:    effFrac(o.Scale, 0.05),
+			Updates:       o.SyncUpdates * pcsWorkers,
+			SnapshotEvery: o.SnapshotEvery,
+		},
+		FStar: pr.fstar,
+	}); err != nil {
 		return nil, err
 	}
-	ac := core.New(rctx)
-	defer ac.Close()
-	if _, err := opt.ASGD(ac, pr.d, opt.Params{
-		Step:          stepFor(AlgoASGD, cfg, pcsWorkers),
-		SampleFrac:    effFrac(o.Scale, 0.05),
-		Updates:       o.SyncUpdates * pcsWorkers,
-		SnapshotEvery: o.SnapshotEvery,
-	}, pr.fstar); err != nil {
-		return nil, err
-	}
-	hist := ac.Coordinator().StalenessHistogram()
+	hist := eng.Context().Coordinator().StalenessHistogram()
 	// bucket into powers of two for a compact table
 	buckets := map[string]int64{}
 	var order []string

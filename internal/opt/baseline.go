@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -21,6 +22,12 @@ type gradAgg struct {
 // components. Differences between this and SyncSGD measure ASYNC's
 // synchronous-path overhead.
 func MllibSGD(rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
+	return MllibSGDCtx(context.Background(), rctx, points, d, p, fstar)
+}
+
+// MllibSGDCtx is MllibSGD with cancellation: the baseline bypasses the AC
+// (so Context.Bind cannot reach it) and instead checks ctx between rounds.
+func MllibSGDCtx(ctx context.Context, rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
@@ -29,6 +36,9 @@ func MllibSGD(rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *dataset.Dataset,
 	rec.Force(0, w)
 	loss := p.Loss
 	for k := int64(0); k < int64(p.Updates); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opt: MllibSGD round %d: %w", k, err)
+		}
 		// Spark broadcasts the model each round; tasks close over this
 		// round's immutable copy.
 		wRound := w.Clone()
