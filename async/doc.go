@@ -31,4 +31,10 @@
 // underlying AC; the barrier and filter constructors (ASP, BSP, SSP,
 // MinAvailable, MaxAvgTaskTime) are re-exported here so such drivers need
 // no internal imports.
+//
+// An engine serves one Solve at a time (ErrBusy) and holds one dataset at
+// a time (Release swaps it); between solves the engine resets its logical
+// clock, statistics, and worker-local run state, so sequential runs are
+// independent. For serving many concurrent jobs over a pool of engines,
+// see the async/jobs subpackage.
 package async

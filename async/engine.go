@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -51,8 +52,13 @@ type Engine struct {
 	points  *Data
 	data    *dataset.Dataset
 	solving bool
+	ran     bool // a Solve has run: the next one must ResetRun first
 	closed  bool
 }
+
+// resetTimeout bounds how long a reused engine waits for the previous
+// run's stray in-flight tasks before starting the next run.
+const resetTimeout = 5 * time.Second
 
 // New builds an engine from functional options and connects its transport
 // (for TCP this blocks until all workers have dialled in).
@@ -104,14 +110,18 @@ func (e *Engine) Close() error {
 
 // Distribute splits d across the engine's workers (WithPartitions blocks,
 // round-robin placement, driver-side lineage roots for recovery) and
-// returns the distributed handle. An engine holds one dataset at a time;
-// Solve calls use the handle automatically.
+// returns the distributed handle. An engine holds one dataset at a time
+// (Release swaps it); Solve calls use the handle automatically.
 func (e *Engine) Distribute(d *dataset.Dataset) (*Data, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.distributeLocked(d)
+}
+
+func (e *Engine) distributeLocked(d *dataset.Dataset) (*Data, error) {
 	if d == nil {
 		return nil, errors.New("async: Distribute(nil)")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
@@ -119,7 +129,7 @@ func (e *Engine) Distribute(d *dataset.Dataset) (*Data, error) {
 		if e.data == d {
 			return e.points, nil
 		}
-		return nil, fmt.Errorf("async: engine already holds dataset %q; use a new engine for %q", e.data.Name, d.Name)
+		return nil, fmt.Errorf("async: engine already holds dataset %q; Release it before distributing %q", e.data.Name, d.Name)
 	}
 	points, err := e.rctx.Distribute(d, e.cfg.partitions)
 	if err != nil {
@@ -128,6 +138,37 @@ func (e *Engine) Distribute(d *dataset.Dataset) (*Data, error) {
 	e.points = points
 	e.data = d
 	return points, nil
+}
+
+// Release drops the engine's held dataset: partition placement and
+// driver-side lineage roots are cleared, so a subsequent Distribute (or
+// Solve) may load a different dataset onto the same warm cluster instead of
+// forcing engine churn. It fails with ErrBusy while a solve is in flight.
+// Releasing an engine that holds nothing is a no-op.
+func (e *Engine) Release() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.solving {
+		return ErrBusy
+	}
+	if e.data == nil {
+		return nil
+	}
+	e.rctx.Release()
+	e.points = nil
+	e.data = nil
+	return nil
+}
+
+// Dataset returns the dataset the engine currently holds, nil before
+// Distribute or after Release.
+func (e *Engine) Dataset() *dataset.Dataset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.data
 }
 
 // Solve runs the named registered solver on d, distributing it first if
@@ -147,24 +188,38 @@ func (e *Engine) Solve(ctx context.Context, algorithm string, d *dataset.Dataset
 	if err != nil {
 		return nil, err
 	}
-	if _, err := e.Distribute(d); err != nil {
-		return nil, err
-	}
 	if opts.Barrier == nil {
 		opts.Barrier = e.cfg.barrier
 	}
+	// distribute and claim the engine in one critical section: a Release
+	// sneaking in between them would pull the placement out from under the
+	// run (Release checks the solving flag under this same mutex)
 	e.mu.Lock()
 	if e.solving {
 		e.mu.Unlock()
 		return nil, ErrBusy
 	}
+	if _, err := e.distributeLocked(d); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
 	e.solving = true
+	reused := e.ran
+	e.ran = true
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
 		e.solving = false
 		e.mu.Unlock()
 	}()
+	if reused {
+		// a fresh run must not inherit the previous run's logical clock
+		// (which would consume its update budget), stray results, wait
+		// statistics, or worker-local history
+		if err := e.ac.ResetRun(resetTimeout); err != nil {
+			return nil, fmt.Errorf("async: reset engine between runs: %w", err)
+		}
+	}
 	return s.Solve(ctx, e, d, opts)
 }
 

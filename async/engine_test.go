@@ -116,6 +116,77 @@ func TestDistributeReturnsLiveHandle(t *testing.T) {
 	}
 }
 
+func TestReleaseSwapsDataset(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	a, b := tinyData(t, 30), tinyData(t, 31)
+	if _, err := eng.Solve(context.Background(), "asgd", a, async.SolveOptions{Params: tinyParams(20)}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Dataset() != a {
+		t.Fatal("engine does not report held dataset")
+	}
+	// a different dataset is rejected until the first is released
+	if _, err := eng.Distribute(b); err == nil {
+		t.Fatal("second dataset accepted without Release")
+	}
+	if err := eng.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if eng.Dataset() != nil {
+		t.Fatal("dataset still held after Release")
+	}
+	if err := eng.Release(); err != nil {
+		t.Fatalf("idempotent Release: %v", err)
+	}
+	// the same engine now solves on the new dataset end to end
+	res, err := eng.Solve(context.Background(), "asgd", b, async.SolveOptions{Params: tinyParams(20)})
+	if err != nil {
+		t.Fatalf("Solve after Release: %v", err)
+	}
+	if len(res.W) != b.NumCols() {
+		t.Fatalf("model dim %d, want %d", len(res.W), b.NumCols())
+	}
+	rows, err := eng.Points().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != b.NumRows() {
+		t.Fatalf("distributed rows = %d, want %d", rows, b.NumRows())
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	eng, err := async.New(async.WithWorkers(2), async.WithSeed(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var events []opt.Progress
+	p := tinyParams(40)
+	p.SnapshotEvery = 10
+	p.OnProgress = func(pr opt.Progress) { events = append(events, pr) }
+	if _, err := eng.Solve(context.Background(), "asgd", tinyData(t, 33), async.SolveOptions{Params: p}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("got %d progress events, want >= 3", len(events))
+	}
+	last := events[len(events)-1]
+	if !last.Final {
+		t.Fatal("last progress event not marked final")
+	}
+	if last.Updates < 40 {
+		t.Fatalf("final event at %d updates, want >= 40", last.Updates)
+	}
+	if len(last.W) == 0 {
+		t.Fatal("progress event missing model snapshot")
+	}
+}
+
 func TestSolveByName(t *testing.T) {
 	eng, err := async.New(async.WithWorkers(2), async.WithSeed(5))
 	if err != nil {

@@ -1,0 +1,65 @@
+package jobs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+)
+
+// BenchmarkSchedulerThroughput measures end-to-end jobs/sec through a
+// 2-engine local-transport pool: real ASGD runs on a shared tiny dataset
+// (affinity keeps it resident), submitted ahead of the pool so the queue
+// stays warm. The jobs/sec metric is the serving-layer headline number.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s, err := jobs.New(jobs.Config{
+		Engines:    2,
+		QueueDepth: b.N + 1,
+		Retention:  b.N + 1,
+		EngineOptions: []async.Option{
+			async.WithWorkers(2),
+			async.WithPartitions(2),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	spec := jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   25,
+	}
+	// warm up: engines spun, dataset generated and distributed
+	id, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := s.Wait(ctx, id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	ids := make([]jobs.ID, b.N)
+	for i := range b.N {
+		if ids[i], err = s.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		job, err := s.Wait(ctx, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if job.State != jobs.StateDone {
+			b.Fatalf("job %s: %s (%s)", job.ID, job.State, job.Err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+}

@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/async"
+	"repro/internal/dataset"
+)
+
+// NewHandler exposes a scheduler as a JSON/HTTP API:
+//
+//	POST   /v1/jobs             submit a Spec, returns {"id": ...} (202)
+//	GET    /v1/jobs             list job snapshots
+//	GET    /v1/jobs/{id}        one job snapshot
+//	GET    /v1/jobs/{id}/events live event stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel (202)
+//	GET    /v1/healthz          liveness + capacity summary
+//	GET    /v1/metrics          serving counters (Stats)
+//
+// The handler owns no lifecycle: closing the scheduler is the caller's
+// job. Every error body is {"error": "..."}.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+			return
+		}
+		id, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Status(ID(r.PathValue("id")))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cancel(ID(r.PathValue("id"))); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"canceled": r.PathValue("id")})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := ID(r.PathValue("id"))
+		events, stop, err := s.Subscribe(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		defer stop()
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, errors.New("jobs: response writer cannot stream"))
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, open := <-events:
+				if !open {
+					// terminal: close the stream with the final snapshot,
+					// covering any progress events a lagging buffer dropped
+					if job, err := s.Status(id); err == nil {
+						writeSSE(w, "state", job)
+						fl.Flush()
+					}
+					return
+				}
+				writeSSE(w, string(ev.Type), ev)
+				fl.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":       "ok",
+			"engines_live": st.EnginesLive,
+			"engines_max":  st.EnginesMax,
+			"queued":       st.Queued,
+			"running":      st.Running,
+			"queue_depth":  st.QueueDepth,
+			"algorithms":   async.Solvers(),
+			"datasets":     dataset.CatalogNames(),
+		})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

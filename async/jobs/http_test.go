@@ -1,0 +1,248 @@
+package jobs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/async/jobs"
+)
+
+func postJob(t *testing.T, base string, spec jobs.Spec) jobs.ID {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID jobs.ID `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+	return out.ID
+}
+
+func getJob(t *testing.T, base string, id jobs.ID) jobs.Job {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var job jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestHTTPEndToEnd drives a full job lifecycle through the HTTP API: submit
+// → SSE event stream → status; plus cancel, health, metrics, and the error
+// paths.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 2})
+	srv := httptest.NewServer(jobs.NewHandler(s))
+	defer srv.Close()
+
+	id := postJob(t, srv.URL, jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   60, SnapshotEvery: 10,
+		AutoFStar: true,
+	})
+
+	// the SSE stream replays history and follows the run to termination
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var sawQueued, sawProgress, sawDone bool
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "event: queued":
+			sawQueued = true
+		case line == "event: progress":
+			sawProgress = true
+		case line == "event: done":
+			sawDone = true
+		case strings.HasPrefix(line, "data: ") && sawDone:
+			var ev jobs.Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				t.Fatalf("terminal event payload: %v", err)
+			}
+			if ev.Type == jobs.EventDone && ev.State != jobs.StateDone {
+				t.Fatalf("done event in state %s", ev.State)
+			}
+		}
+	}
+	if !sawQueued || !sawProgress || !sawDone {
+		t.Fatalf("stream missing phases: queued=%v progress=%v done=%v", sawQueued, sawProgress, sawDone)
+	}
+
+	job := getJob(t, srv.URL, id)
+	if job.State != jobs.StateDone {
+		t.Fatalf("job state %s, want done", job.State)
+	}
+	if job.FinalError == nil || *job.FinalError < 0 {
+		t.Fatalf("final error %v, want finite non-negative suboptimality", job.FinalError)
+	}
+
+	// list contains the job
+	listResp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []jobs.Job
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 1 || list[0].ID != id {
+		t.Fatalf("list %+v, want the one job", list)
+	}
+
+	// cancel via DELETE: hold both engines with gated jobs, queue a victim
+	g1 := postJob(t, srv.URL, gateSpec(gateHTTP, 601))
+	g2 := postJob(t, srv.URL, gateSpec(gateHTTP, 602))
+	expectStart(t, gateHTTP, 601)
+	expectStart(t, gateHTTP, 602)
+	victim := postJob(t, srv.URL, gateSpec(gateHTTP, 603))
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%s", srv.URL, victim), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status %d", delResp.StatusCode)
+	}
+	if got := getJob(t, srv.URL, victim); got.State != jobs.StateCanceled {
+		t.Fatalf("victim state %s, want canceled", got.State)
+	}
+	release(t, gateHTTP)
+	release(t, gateHTTP)
+	waitState(t, s, g1, jobs.StateDone)
+	waitState(t, s, g2, jobs.StateDone)
+
+	// healthz names capacity and capabilities
+	hResp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string   `json:"status"`
+		Algorithms []string `json:"algorithms"`
+		Datasets   []string `json:"datasets"`
+		EnginesMax int      `json:"engines_max"`
+	}
+	if err := json.NewDecoder(hResp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if health.Status != "ok" || health.EnginesMax != 2 {
+		t.Fatalf("healthz %+v", health)
+	}
+	if !contains(health.Algorithms, "asgd") || !contains(health.Datasets, "rcv1-like") {
+		t.Fatalf("healthz capabilities missing: %+v", health)
+	}
+
+	// metrics reflect the served jobs
+	mResp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats jobs.Stats
+	if err := json.NewDecoder(mResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	mResp.Body.Close()
+	if stats.Submitted != 4 || stats.Done != 3 || stats.Canceled != 1 {
+		t.Fatalf("metrics %+v, want submitted=4 done=3 canceled=1", stats)
+	}
+
+	// error paths: bad spec, unknown job
+	badResp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{"algorithm":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status %d", badResp.StatusCode)
+	}
+	missing, err := http.Get(srv.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", missing.StatusCode)
+	}
+}
+
+// TestHTTPBackpressure maps queue saturation to 429.
+func TestHTTPBackpressure(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, QueueDepth: 1})
+	srv := httptest.NewServer(jobs.NewHandler(s))
+	defer srv.Close()
+	running := postJob(t, srv.URL, gateSpec(gateHTTP, 701))
+	expectStart(t, gateHTTP, 701)
+	queued := postJob(t, srv.URL, gateSpec(gateHTTP, 702))
+	body, _ := json.Marshal(gateSpec(gateHTTP, 703))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit status %d, want 429", resp.StatusCode)
+	}
+	release(t, gateHTTP)
+	expectStart(t, gateHTTP, 702)
+	release(t, gateHTTP)
+	waitState(t, s, running, jobs.StateDone)
+	waitState(t, s, queued, jobs.StateDone)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Running > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/async"
+	"repro/internal/metrics"
+)
+
+// ID identifies a submitted job.
+type ID string
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states: queued → running → done | failed | canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// EventType discriminates entries of a job's event stream.
+type EventType string
+
+// Event types: one per state transition plus in-run progress samples.
+const (
+	EventQueued   EventType = "queued"
+	EventStarted  EventType = "started"
+	EventProgress EventType = "progress"
+	EventDone     EventType = "done"
+	EventFailed   EventType = "failed"
+	EventCanceled EventType = "canceled"
+)
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	Job   ID        `json:"job"`
+	Seq   int       `json:"seq"`
+	Type  EventType `json:"type"`
+	State State     `json:"state"`
+	// Updates is the model-update count at the sample.
+	Updates int64 `json:"updates,omitempty"`
+	// Error is the current suboptimality f(w) − FStar, present when the
+	// event carries a model snapshot and the value is finite.
+	Error *float64 `json:"error,omitempty"`
+	// ElapsedMS is solver wall-clock at the sample (progress events).
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Wait summarizes per-worker wait times (terminal events of completed
+	// runs).
+	Wait *metrics.WaitSummary `json:"wait,omitempty"`
+	// Message carries the failure/cancellation reason.
+	Message string `json:"message,omitempty"`
+}
+
+// Job is a point-in-time snapshot of a job's lifecycle, safe to retain.
+type Job struct {
+	ID     ID     `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	Engine int    `json:"engine"` // pool slot that ran it; -1 before dispatch
+	Err    string `json:"err,omitempty"`
+
+	Queued   time.Time `json:"queued"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+
+	// Updates is the latest observed model-update count.
+	Updates int64 `json:"updates"`
+	// FinalError is the trace's final suboptimality, when finite.
+	FinalError *float64 `json:"final_error,omitempty"`
+	// Wait summarizes the run's per-worker wait times.
+	Wait *metrics.WaitSummary `json:"wait,omitempty"`
+	// QueueWaitMS is the time the job spent queued before dispatch (so
+	// far, for jobs still queued).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+}
+
+// job is the scheduler-internal record; all fields are guarded by the
+// scheduler mutex except ctx/cancel/done (safe for concurrent use) and
+// spec/dataKey/seq (immutable after Submit).
+type job struct {
+	id      ID
+	spec    Spec
+	dataKey string
+	seq     int64
+
+	state    State
+	engine   int
+	skipped  int // times affinity routing jumped a later job past this head
+	err      string
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	updates  int64
+	finalErr *float64
+	wait     *metrics.WaitSummary
+	result   *async.Result
+
+	ctx             context.Context
+	cancel          context.CancelFunc
+	cancelRequested bool
+	done            chan struct{}
+
+	events   []Event
+	eventSeq int
+	subs     []chan Event
+}
+
+func (j *job) snapshot() Job {
+	s := Job{
+		ID:         j.id,
+		Spec:       j.spec,
+		State:      j.state,
+		Engine:     j.engine,
+		Err:        j.err,
+		Queued:     j.queued,
+		Started:    j.started,
+		Finished:   j.finished,
+		Updates:    j.updates,
+		FinalError: j.finalErr,
+		Wait:       j.wait,
+	}
+	switch {
+	case !j.started.IsZero():
+		s.QueueWaitMS = float64(j.started.Sub(j.queued).Microseconds()) / 1000.0
+	case j.state == StateQueued:
+		s.QueueWaitMS = float64(time.Since(j.queued).Microseconds()) / 1000.0
+	}
+	return s
+}
+
+// finitePtr returns &v when v is a normal number, nil for NaN/Inf — keeps
+// job snapshots JSON-marshalable (encoding/json rejects NaN).
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}

@@ -1,0 +1,712 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/async"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+// Backpressure and lookup errors of the public API.
+var (
+	// ErrQueueFull is Submit's backpressure signal: the bounded queue is at
+	// capacity. Callers retry later or shed load.
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrUnknownJob is returned for an ID the store does not hold (never
+	// assigned, or evicted by the retention limit).
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrClosed is returned by operations on a closed scheduler.
+	ErrClosed = errors.New("jobs: scheduler is closed")
+)
+
+// eventBuffer is the per-subscriber channel slack beyond history replay;
+// a subscriber that lags further loses intermediate progress events (the
+// channel close still signals termination, and Status has the final word).
+const eventBuffer = 64
+
+// maxEventHistory bounds the per-job event history kept for replay.
+const maxEventHistory = 256
+
+// maxQueueJumps bounds how many times affinity routing may dispatch a
+// later job ahead of the current queue head before the head is forced.
+const maxQueueJumps = 4
+
+// Config sizes a Scheduler. The zero value serves: 2 engines, a 64-job
+// queue, 256 retained terminal jobs, default engine options.
+type Config struct {
+	// Engines is the engine-pool ceiling; engines spin up lazily as
+	// concurrent demand appears (default 2).
+	Engines int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// Submit returns ErrQueueFull beyond it (default 64).
+	QueueDepth int
+	// Retention is how many terminal jobs (results included) the store
+	// keeps before evicting the oldest (default 256).
+	Retention int
+	// DatasetCache bounds how many generated datasets (and their cached
+	// reference optima) stay resident; beyond it the least-recently-used
+	// is dropped and regenerated on next use (default 8).
+	DatasetCache int
+	// EngineOptions configure each pool engine (workers, transport,
+	// barrier default, straggler model, ...).
+	EngineOptions []async.Option
+	// NewEngine overrides engine construction (tests, custom transports);
+	// default async.New(EngineOptions...).
+	NewEngine func(slot int) (*async.Engine, error)
+}
+
+func (c *Config) defaults() {
+	if c.Engines <= 0 {
+		c.Engines = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Retention <= 0 {
+		c.Retention = 256
+	}
+	if c.DatasetCache <= 0 {
+		c.DatasetCache = 8
+	}
+	if c.NewEngine == nil {
+		opts := c.EngineOptions
+		c.NewEngine = func(int) (*async.Engine, error) { return async.New(opts...) }
+	}
+}
+
+// Stats is a snapshot of the scheduler's serving counters.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	EnginesLive int `json:"engines_live"`
+	EnginesMax  int `json:"engines_max"`
+	QueueDepth  int `json:"queue_depth"`
+
+	AvgQueueWaitMS float64 `json:"avg_queue_wait_ms"`
+	MaxQueueWaitMS float64 `json:"max_queue_wait_ms"`
+}
+
+// slot is one engine of the pool. eng and dataKey are touched only by the
+// run goroutine while busy, and only under the scheduler mutex while idle.
+type slot struct {
+	id       int
+	eng      *async.Engine
+	busy     bool
+	dataKey  string // key of the dataset the engine holds ("" = none)
+	lastUsed int64
+}
+
+// Scheduler owns the engine pool, the job queue, and the job store. Create
+// one with New, release it with Close.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	queue    []*job // priority desc, submission order within a priority
+	slots    []*slot
+	jobs     map[ID]*job
+	terminal []ID // terminal jobs in completion order, for retention
+	seq      int64
+	useSeq   int64
+	closed   bool
+	wg       sync.WaitGroup
+
+	submitted, rejected     int64
+	doneN, failedN, killedN int64
+	startedN                int64
+	queueWaitTotal          time.Duration
+	queueWaitMax            time.Duration
+
+	dsMu    sync.Mutex
+	dsCache map[string]*dsEntry
+	dsOrder []string // LRU order, least-recent first
+}
+
+// New builds a scheduler; engines spin up lazily on demand.
+func New(cfg Config) (*Scheduler, error) {
+	cfg.defaults()
+	return &Scheduler{
+		cfg:     cfg,
+		jobs:    map[ID]*job{},
+		dsCache: map[string]*dsEntry{},
+	}, nil
+}
+
+// Submit validates and enqueues a job, returning its ID immediately. The
+// queue is bounded: ErrQueueFull signals backpressure.
+func (s *Scheduler) Submit(spec Spec) (ID, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected++
+		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      ID(fmt.Sprintf("job-%06d", s.seq)),
+		spec:    spec,
+		dataKey: spec.Dataset.Key(),
+		seq:     s.seq,
+		state:   StateQueued,
+		engine:  -1,
+		queued:  time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	// insert after the last job with priority >= ours: priority order,
+	// FIFO within a level
+	at := sort.Search(len(s.queue), func(i int) bool {
+		return s.queue[i].spec.Priority < spec.Priority
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[at+1:], s.queue[at:])
+	s.queue[at] = j
+	s.submitted++
+	s.emitLocked(j, EventQueued, "")
+	s.dispatchLocked()
+	return j.id, nil
+}
+
+// Status returns a snapshot of the job.
+func (s *Scheduler) Status(id ID) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return j.snapshot(), nil
+}
+
+// Result returns a terminal job's full solver result (nil for jobs that
+// did not complete successfully).
+func (s *Scheduler) Result(id ID) (*async.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.result, nil
+}
+
+// List snapshots every job the store holds, in submission order.
+func (s *Scheduler) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	ordered := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+	for _, j := range ordered {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns the final snapshot.
+func (s *Scheduler) Wait(ctx context.Context, id ID) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	select {
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	case <-j.done:
+	}
+	// snapshot the held record directly: a retention eviction between the
+	// done signal and a by-ID lookup must not turn a completed job into
+	// ErrUnknownJob for its own waiter
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// Cancel aborts a job: a queued job is removed before it ever starts; a
+// running job's context is canceled, aborting barrier waits and collects
+// mid-run. Canceling a terminal job is a no-op.
+func (s *Scheduler) Cancel(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.cancel()
+		s.finalizeLocked(j, nil, context.Canceled)
+	case StateRunning:
+		j.cancelRequested = true
+		j.cancel()
+	}
+	return nil
+}
+
+// Subscribe returns a channel of the job's events, starting with a replay
+// of its history; the channel closes once the job is terminal (and the
+// backlog drained). The returned stop function releases the subscription
+// early. Slow subscribers lose intermediate progress events rather than
+// blocking the scheduler.
+func (s *Scheduler) Subscribe(id ID) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan Event, len(j.events)+eventBuffer)
+	for _, ev := range j.events {
+		ch <- ev
+	}
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs = append(j.subs, ch)
+	stop := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, stop, nil
+}
+
+// Stats snapshots the serving counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Submitted:  s.submitted,
+		Rejected:   s.rejected,
+		Done:       s.doneN,
+		Failed:     s.failedN,
+		Canceled:   s.killedN,
+		Queued:     len(s.queue),
+		EnginesMax: s.cfg.Engines,
+		QueueDepth: s.cfg.QueueDepth,
+	}
+	for _, sl := range s.slots {
+		if sl.eng != nil || sl.busy {
+			st.EnginesLive++
+		}
+		if sl.busy {
+			st.Running++
+		}
+	}
+	if s.startedN > 0 {
+		st.AvgQueueWaitMS = float64(s.queueWaitTotal.Microseconds()) / 1000.0 / float64(s.startedN)
+		st.MaxQueueWaitMS = float64(s.queueWaitMax.Microseconds()) / 1000.0
+	}
+	return st
+}
+
+// Close cancels queued and running jobs, waits for runs to unwind, and
+// closes every engine. It is idempotent.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	queued := s.queue
+	s.queue = nil
+	for _, j := range queued {
+		j.cancel()
+		s.finalizeLocked(j, nil, context.Canceled)
+	}
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	slots := s.slots
+	s.slots = nil
+	s.mu.Unlock()
+	var firstErr error
+	for _, sl := range slots {
+		if sl.eng != nil {
+			if err := sl.eng.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// dispatchLocked pairs queued jobs with engines until no pairing remains.
+// Affinity first: the earliest queued job whose dataset an idle engine
+// already holds wins that engine, ahead of the queue head — bounded
+// queue-jumping that saves a Release+Distribute. Otherwise the head job
+// takes an empty engine, a lazily spun-up one, or the LRU idle engine.
+func (s *Scheduler) dispatchLocked() {
+	for !s.closed && len(s.queue) > 0 {
+		sl, j := s.pickLocked()
+		if j == nil {
+			return
+		}
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		sl.busy = true
+		j.state = StateRunning
+		j.engine = sl.id
+		j.started = time.Now()
+		wait := j.started.Sub(j.queued)
+		s.queueWaitTotal += wait
+		if wait > s.queueWaitMax {
+			s.queueWaitMax = wait
+		}
+		s.startedN++
+		s.emitLocked(j, EventStarted, "")
+		s.wg.Add(1)
+		go s.run(sl, j)
+	}
+}
+
+func (s *Scheduler) pickLocked() (*slot, *job) {
+	var idle []*slot
+	for _, sl := range s.slots {
+		if !sl.busy {
+			idle = append(idle, sl)
+		}
+	}
+	canGrow := len(s.slots) < s.cfg.Engines
+	if len(idle) == 0 && !canGrow {
+		return nil, nil
+	}
+	head := s.queue[0]
+	// pass 1: dataset affinity — but never across a priority boundary
+	// (Priority ordering is a contract, affinity only reorders FIFO ties)
+	// and never more than maxQueueJumps times past the same head job, so
+	// a stream of warm-dataset arrivals cannot starve it. The head's own
+	// affinity match is always honoured: dispatching it starves nothing.
+	for _, sl := range idle {
+		if sl.dataKey != "" && sl.dataKey == head.dataKey {
+			return sl, head
+		}
+	}
+	if head.skipped < maxQueueJumps {
+		for _, j := range s.queue[1:] {
+			if j.spec.Priority < head.spec.Priority {
+				break
+			}
+			for _, sl := range idle {
+				if sl.dataKey != "" && sl.dataKey == j.dataKey {
+					head.skipped++
+					return sl, j
+				}
+			}
+		}
+	}
+	// pass 2: head job onto an empty engine, a new engine, or the LRU
+	j := head
+	for _, sl := range idle {
+		if sl.dataKey == "" {
+			return sl, j
+		}
+	}
+	if canGrow {
+		sl := &slot{id: len(s.slots)}
+		s.slots = append(s.slots, sl)
+		return sl, j
+	}
+	best := idle[0]
+	for _, sl := range idle[1:] {
+		if sl.lastUsed < best.lastUsed {
+			best = sl
+		}
+	}
+	return best, j
+}
+
+// run executes one job on its assigned slot and re-enters dispatch.
+func (s *Scheduler) run(sl *slot, j *job) {
+	defer s.wg.Done()
+	res, err := s.execute(sl, j)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl.busy = false
+	s.useSeq++
+	sl.lastUsed = s.useSeq
+	s.finalizeLocked(j, res, err)
+	s.dispatchLocked()
+}
+
+// execute runs outside the scheduler lock; it owns the slot while busy.
+func (s *Scheduler) execute(sl *slot, j *job) (*async.Result, error) {
+	if sl.eng == nil {
+		eng, err := s.cfg.NewEngine(sl.id)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: engine %d spin-up: %w", sl.id, err)
+		}
+		// Stats reads eng of busy slots too, so this write needs the lock
+		s.mu.Lock()
+		sl.eng = eng
+		s.mu.Unlock()
+	}
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	ds, err := s.datasetFor(j.spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if sl.eng.Dataset() != ds {
+		if err := sl.eng.Release(); err != nil {
+			return nil, fmt.Errorf("jobs: engine %d release: %w", sl.id, err)
+		}
+		sl.dataKey = ""
+		if _, err := sl.eng.Distribute(ds); err != nil {
+			return nil, fmt.Errorf("jobs: engine %d distribute %s: %w", sl.id, j.dataKey, err)
+		}
+		sl.dataKey = j.dataKey
+	}
+	opts, err := j.spec.solveOptions(sl.eng.Workers())
+	if err != nil {
+		return nil, err
+	}
+	if j.spec.AutoFStar {
+		fstar, err := s.fstarFor(j.spec.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		opts.FStar = fstar
+	}
+	loss := opts.Params.Loss
+	fstar := opts.FStar
+	opts.Params.OnProgress = func(p opt.Progress) {
+		s.progress(j, p, ds, loss, fstar)
+	}
+	return sl.eng.Solve(j.ctx, j.spec.Algorithm, ds, opts)
+}
+
+// maxProgressEvalRows caps the dataset size for which progress events
+// carry a live suboptimality: the evaluation runs synchronously on the
+// solver driver goroutine, so on large datasets it would stall the solve
+// loop at every snapshot. Beyond the cap, progress events report updates
+// and elapsed time only (the final error still comes from the trace).
+const maxProgressEvalRows = 50_000
+
+// progress streams an in-run snapshot to the job's subscribers. The
+// current suboptimality is evaluated driver-side against the full dataset,
+// gated by maxProgressEvalRows.
+func (s *Scheduler) progress(j *job, p opt.Progress, ds *dataset.Dataset, loss opt.Loss, fstar float64) {
+	if loss == nil {
+		loss = opt.LeastSquares{}
+	}
+	var errNow *float64
+	if ds.NumRows() <= maxProgressEvalRows {
+		errNow = finitePtr(opt.Objective(ds, loss, p.W) - fstar)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	j.updates = p.Updates
+	ev := s.newEventLocked(j, EventProgress, "")
+	ev.Updates = p.Updates
+	ev.Error = errNow
+	ev.ElapsedMS = float64(p.Elapsed.Microseconds()) / 1000.0
+	s.deliverLocked(j, ev)
+}
+
+// finalizeLocked moves a job to its terminal state, publishes the terminal
+// event, closes subscriptions, and applies the retention limit.
+func (s *Scheduler) finalizeLocked(j *job, res *async.Result, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	var typ EventType
+	switch {
+	case err == nil:
+		j.state = StateDone
+		typ = EventDone
+		j.result = res
+		if res != nil && res.Trace != nil {
+			j.finalErr = finitePtr(res.Trace.FinalError())
+			w := res.Trace.Waits()
+			j.wait = &w
+			if n := len(res.Trace.Points); n > 0 {
+				j.updates = res.Trace.Points[n-1].Updates
+			}
+		}
+		s.doneN++
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		typ = EventCanceled
+		j.err = err.Error()
+		s.killedN++
+	default:
+		j.state = StateFailed
+		typ = EventFailed
+		j.err = err.Error()
+		s.failedN++
+	}
+	ev := s.newEventLocked(j, typ, j.err)
+	ev.Updates = j.updates
+	ev.Error = j.finalErr
+	ev.Wait = j.wait
+	s.deliverLocked(j, ev)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	s.terminal = append(s.terminal, j.id)
+	for len(s.terminal) > s.cfg.Retention {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+func (s *Scheduler) newEventLocked(j *job, typ EventType, msg string) Event {
+	j.eventSeq++
+	return Event{Job: j.id, Seq: j.eventSeq, Type: typ, State: j.state, Message: msg}
+}
+
+func (s *Scheduler) emitLocked(j *job, typ EventType, msg string) {
+	s.deliverLocked(j, s.newEventLocked(j, typ, msg))
+}
+
+func (s *Scheduler) deliverLocked(j *job, ev Event) {
+	j.events = append(j.events, ev)
+	if len(j.events) > maxEventHistory {
+		j.events = j.events[1:]
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // lagging subscriber: drop rather than block the driver
+		}
+	}
+}
+
+// dsEntry caches one generated dataset and its lazily computed reference
+// optimum. Generation runs under the entry's own once, so two jobs needing
+// different datasets never serialize on the cache lock — only same-key
+// requests wait for each other.
+type dsEntry struct {
+	genOnce sync.Once
+	d       *dataset.Dataset
+	genErr  error
+
+	fOnce sync.Once
+	fstar float64
+	fErr  error
+}
+
+func (en *dsEntry) dataset(spec DatasetSpec) (*dataset.Dataset, error) {
+	en.genOnce.Do(func() {
+		cfg, err := spec.config()
+		if err != nil {
+			en.genErr = err
+			return
+		}
+		en.d, en.genErr = dataset.Generate(cfg)
+	})
+	return en.d, en.genErr
+}
+
+func (en *dsEntry) refOptimum(spec DatasetSpec) (float64, error) {
+	d, err := en.dataset(spec)
+	if err != nil {
+		return 0, err
+	}
+	en.fOnce.Do(func() {
+		_, en.fstar, en.fErr = opt.ReferenceOptimum(d)
+	})
+	return en.fstar, en.fErr
+}
+
+// entryFor returns the cache entry for a spec's key, creating it and
+// applying the LRU bound under the cache lock (generation itself happens
+// outside the lock, in the entry's once). Evicting an in-use dataset is
+// safe: running jobs hold their own pointer, and a regenerated dataset
+// merely forces one redistribution on its next use (Distribute keys on
+// pointer identity, which is also what affinity routing relies on).
+func (s *Scheduler) entryFor(spec DatasetSpec) *dsEntry {
+	key := spec.Key()
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	en, ok := s.dsCache[key]
+	if !ok {
+		en = &dsEntry{}
+		s.dsCache[key] = en
+		s.dsOrder = append(s.dsOrder, key)
+		for len(s.dsOrder) > s.cfg.DatasetCache {
+			delete(s.dsCache, s.dsOrder[0])
+			s.dsOrder = s.dsOrder[1:]
+		}
+		return en
+	}
+	for i, k := range s.dsOrder {
+		if k == key {
+			s.dsOrder = append(append(s.dsOrder[:i], s.dsOrder[i+1:]...), key)
+			break
+		}
+	}
+	return en
+}
+
+// datasetFor returns the shared in-memory dataset for a spec, generating
+// it on first use.
+func (s *Scheduler) datasetFor(spec DatasetSpec) (*dataset.Dataset, error) {
+	return s.entryFor(spec).dataset(spec)
+}
+
+// fstarFor computes (once per cached dataset) the least-squares reference
+// optimum used when a spec asks for AutoFStar.
+func (s *Scheduler) fstarFor(spec DatasetSpec) (float64, error) {
+	return s.entryFor(spec).refOptimum(spec)
+}

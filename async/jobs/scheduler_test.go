@@ -1,0 +1,522 @@
+package jobs_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/metrics"
+)
+
+// gate is a controllable test solver: every run announces itself on starts
+// (tagged by its Updates budget) and then blocks until a release token or
+// cancellation. It gives tests exact control over engine occupancy.
+type gate struct {
+	name    string
+	starts  chan int
+	release chan struct{}
+}
+
+func newGate(name string) *gate {
+	return &gate{name: name, starts: make(chan int, 64), release: make(chan struct{})}
+}
+
+func (g *gate) Name() string { return g.name }
+
+func (g *gate) Solve(ctx context.Context, e *async.Engine, d *dataset.Dataset, opts async.SolveOptions) (*async.Result, error) {
+	g.starts <- opts.Params.Updates
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-g.release:
+		return &async.Result{
+			Trace: &metrics.Trace{
+				Algorithm: g.name,
+				Dataset:   d.Name,
+				Points:    []metrics.TracePoint{{Updates: int64(opts.Params.Updates)}},
+			},
+			W: la.NewVec(d.NumCols()),
+		}, nil
+	}
+}
+
+// test gates are registered once: the solver registry is process-global.
+var (
+	gateOrder    = newGate("gate-order")
+	gatePressure = newGate("gate-pressure")
+	gateQueued   = newGate("gate-queued")
+	gateRunning  = newGate("gate-running")
+	gateAffinity = newGate("gate-affinity")
+	gateHTTP     = newGate("gate-http")
+)
+
+func init() {
+	for _, g := range []*gate{gateOrder, gatePressure, gateQueued, gateRunning, gateAffinity, gateHTTP} {
+		if err := async.Register(g); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// newScheduler builds a small fast scheduler for tests.
+func newScheduler(t *testing.T, cfg jobs.Config) *jobs.Scheduler {
+	t.Helper()
+	if cfg.EngineOptions == nil {
+		cfg.EngineOptions = []async.Option{async.WithWorkers(2), async.WithPartitions(2)}
+	}
+	s, err := jobs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func gateSpec(g *gate, tag int) jobs.Spec {
+	return jobs.Spec{
+		Algorithm: g.name,
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Updates:   tag,
+	}
+}
+
+// expectStart asserts the next run the gate admits carries the tag.
+func expectStart(t *testing.T, g *gate, tag int) {
+	t.Helper()
+	select {
+	case got := <-g.starts:
+		if got != tag {
+			t.Fatalf("started job %d, want %d", got, tag)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no job started (want %d)", tag)
+	}
+}
+
+func release(t *testing.T, g *gate) {
+	t.Helper()
+	select {
+	case g.release <- struct{}{}:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no run consumed the release token")
+	}
+}
+
+func waitState(t *testing.T, s *jobs.Scheduler, id jobs.ID, want jobs.State) jobs.Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	job, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	if job.State != want {
+		t.Fatalf("job %s state %s (err %q), want %s", id, job.State, job.Err, want)
+	}
+	return job
+}
+
+func TestQueueOrderingPriorityFIFO(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	// occupy the single engine so subsequent submissions queue up
+	if _, err := s.Submit(gateSpec(gateOrder, 101)); err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateOrder, 101)
+	for _, j := range []struct{ tag, prio int }{
+		{102, 0}, {103, 5}, {104, 5}, {105, 1},
+	} {
+		spec := gateSpec(gateOrder, j.tag)
+		spec.Priority = j.prio
+		if _, err := s.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// drain: priority desc, FIFO within a level
+	for _, want := range []int{103, 104, 105, 102} {
+		release(t, gateOrder)
+		expectStart(t, gateOrder, want)
+	}
+	release(t, gateOrder)
+}
+
+func TestPoolSaturationBackpressure(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, QueueDepth: 2})
+	if _, err := s.Submit(gateSpec(gatePressure, 201)); err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gatePressure, 201)
+	ids := make([]jobs.ID, 0, 2)
+	for tag := 202; tag <= 203; tag++ {
+		id, err := s.Submit(gateSpec(gatePressure, tag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// 1 running + 2 queued: the bounded queue now rejects
+	if _, err := s.Submit(gateSpec(gatePressure, 204)); !errors.Is(err, jobs.ErrQueueFull) {
+		t.Fatalf("saturated Submit returned %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Queued != 2 || st.Running != 1 {
+		t.Fatalf("stats %+v, want rejected=1 queued=2 running=1", st)
+	}
+	for range 3 {
+		release(t, gatePressure)
+	}
+	<-gatePressure.starts
+	<-gatePressure.starts
+	for _, id := range ids {
+		waitState(t, s, id, jobs.StateDone)
+	}
+}
+
+func TestCancelQueuedNeverStarts(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	blocker, err := s.Submit(gateSpec(gateQueued, 301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateQueued, 301)
+	victim, err := s.Submit(gateSpec(gateQueued, 302))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(victim); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, victim, jobs.StateCanceled)
+	if !got.Started.IsZero() {
+		t.Fatal("canceled queued job reports a start time")
+	}
+	// release the blocker; the canceled job must never reach the solver
+	release(t, gateQueued)
+	waitState(t, s, blocker, jobs.StateDone)
+	after, err := s.Submit(gateSpec(gateQueued, 303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateQueued, 303) // 302 would have arrived first if it ever started
+	release(t, gateQueued)
+	waitState(t, s, after, jobs.StateDone)
+	// canceling a terminal job stays a no-op
+	if err := s.Cancel(victim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelRunningMidRun(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	id, err := s.Submit(gateSpec(gateRunning, 401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateRunning, 401)
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	job := waitState(t, s, id, jobs.StateCanceled)
+	if job.Err == "" {
+		t.Fatal("canceled running job carries no reason")
+	}
+	// the engine is free again afterwards
+	next, err := s.Submit(gateSpec(gateRunning, 402))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateRunning, 402)
+	release(t, gateRunning)
+	waitState(t, s, next, jobs.StateDone)
+}
+
+func TestDatasetAffinityRouting(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 2})
+	dsA := jobs.DatasetSpec{Name: "rcv1-like", Seed: 1}
+	dsB := jobs.DatasetSpec{Name: "rcv1-like", Seed: 2}
+	submit := func(ds jobs.DatasetSpec, tag int) jobs.ID {
+		t.Helper()
+		spec := gateSpec(gateAffinity, tag)
+		spec.Dataset = ds
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	runOne := func(ds jobs.DatasetSpec, tag int) jobs.Job {
+		t.Helper()
+		id := submit(ds, tag)
+		expectStart(t, gateAffinity, tag)
+		release(t, gateAffinity)
+		return waitState(t, s, id, jobs.StateDone)
+	}
+	j1 := runOne(dsA, 501) // engine 0 loads A
+	j2 := runOne(dsB, 502) // engine 1 spins up for B (0 holds A)
+	j3 := runOne(dsA, 503) // affinity: back to the engine holding A
+	j4 := runOne(dsB, 504) // affinity: back to the engine holding B
+	if j1.Engine == j2.Engine {
+		t.Fatalf("jobs on distinct datasets shared engine %d", j1.Engine)
+	}
+	if j3.Engine != j1.Engine {
+		t.Fatalf("dataset-A job ran on engine %d, want %d (affinity)", j3.Engine, j1.Engine)
+	}
+	if j4.Engine != j2.Engine {
+		t.Fatalf("dataset-B job ran on engine %d, want %d (affinity)", j4.Engine, j2.Engine)
+	}
+
+	// affinity queue-jump: with the only matching engine busy, a queued
+	// job whose dataset is already resident runs ahead of the queue head
+	s2 := newScheduler(t, jobs.Config{Engines: 1})
+	blocker := submit2(t, s2, gateAffinity, dsA, 511)
+	expectStart(t, gateAffinity, 511)
+	headB := submit2(t, s2, gateAffinity, dsB, 512) // queue head, needs a swap
+	jumpA := submit2(t, s2, gateAffinity, dsA, 513) // resident dataset
+	release(t, gateAffinity)
+	waitState(t, s2, blocker, jobs.StateDone)
+	expectStart(t, gateAffinity, 513)
+	release(t, gateAffinity)
+	waitState(t, s2, jumpA, jobs.StateDone)
+	expectStart(t, gateAffinity, 512)
+	release(t, gateAffinity)
+	waitState(t, s2, headB, jobs.StateDone)
+
+	// affinity never crosses a priority boundary: a high-priority job on a
+	// cold dataset beats a warm-dataset job of lower priority
+	s3 := newScheduler(t, jobs.Config{Engines: 1})
+	blocker2 := submit2(t, s3, gateAffinity, dsA, 521)
+	expectStart(t, gateAffinity, 521)
+	spec := gateSpec(gateAffinity, 522) // cold dataset, high priority
+	spec.Dataset = dsB
+	spec.Priority = 5
+	highB, err := s3.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowA := submit2(t, s3, gateAffinity, dsA, 523) // warm dataset, low priority
+	release(t, gateAffinity)
+	waitState(t, s3, blocker2, jobs.StateDone)
+	expectStart(t, gateAffinity, 522)
+	release(t, gateAffinity)
+	waitState(t, s3, highB, jobs.StateDone)
+	expectStart(t, gateAffinity, 523)
+	release(t, gateAffinity)
+	waitState(t, s3, lowA, jobs.StateDone)
+}
+
+func submit2(t *testing.T, s *jobs.Scheduler, g *gate, ds jobs.DatasetSpec, tag int) jobs.ID {
+	t.Helper()
+	spec := gateSpec(g, tag)
+	spec.Dataset = ds
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestConcurrentJobsTwoEngines is the acceptance scenario: many real jobs
+// submitted concurrently to a 2-engine pool all reach terminal states with
+// no ErrBusy surfacing to any caller.
+func TestConcurrentJobsTwoEngines(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 2})
+	algorithms := []string{"asgd", "sgd", "saga", "asaga"}
+	const n = 9
+	var wg sync.WaitGroup
+	ids := make([]jobs.ID, n)
+	errs := make([]error, n)
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spec := jobs.Spec{
+				Algorithm: algorithms[i%len(algorithms)],
+				Dataset:   jobs.DatasetSpec{Name: "rcv1-like", Seed: int64(1 + i%2)},
+				Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+				Updates:   40,
+			}
+			ids[i], errs[i] = s.Submit(spec)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i, id := range ids {
+		job := waitState(t, s, id, jobs.StateDone)
+		if job.Updates < 40 {
+			t.Fatalf("job %d finished at %d updates, want >= 40", i, job.Updates)
+		}
+		if job.Engine < 0 || job.Engine > 1 {
+			t.Fatalf("job %d ran on engine %d, want pool of 2", i, job.Engine)
+		}
+		if strings.Contains(job.Err, "busy") {
+			t.Fatalf("ErrBusy leaked to job %d: %s", i, job.Err)
+		}
+		if job.FinalError == nil {
+			t.Fatalf("job %d has no final error", i)
+		}
+		if job.Wait == nil || job.Wait.Workers == 0 {
+			t.Fatalf("job %d has no wait-time summary", i)
+		}
+	}
+	st := s.Stats()
+	if st.Done != n || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("stats %+v, want %d done", st, n)
+	}
+	if st.EnginesLive != 2 {
+		t.Fatalf("engines live %d, want 2", st.EnginesLive)
+	}
+}
+
+func TestProgressEventsStream(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	id, err := s.Submit(jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   60, SnapshotEvery: 10,
+		AutoFStar: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, stop, err := s.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	var progress, terminal int
+	var lastUpdates int64
+	deadline := time.After(30 * time.Second)
+	for open := true; open; {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				open = false
+				break
+			}
+			switch ev.Type {
+			case jobs.EventProgress:
+				progress++
+				if ev.Updates < lastUpdates {
+					t.Fatalf("progress went backwards: %d after %d", ev.Updates, lastUpdates)
+				}
+				lastUpdates = ev.Updates
+				if ev.Error == nil {
+					t.Fatal("progress event carries no error value")
+				}
+			case jobs.EventDone:
+				terminal++
+				if ev.Wait == nil {
+					t.Fatal("done event missing wait summary")
+				}
+			}
+		case <-deadline:
+			t.Fatal("event stream did not close")
+		}
+	}
+	if progress < 3 {
+		t.Fatalf("saw %d progress events, want >= 3", progress)
+	}
+	if terminal != 1 {
+		t.Fatalf("saw %d terminal events, want 1", terminal)
+	}
+	// late subscribers get full history replay
+	replay, stop2, err := s.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	var replayed int
+	for range replay {
+		replayed++
+	}
+	if replayed < progress+2 { // queued + started + progress + done
+		t.Fatalf("replay delivered %d events, want >= %d", replayed, progress+2)
+	}
+}
+
+func TestRetentionEviction(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, Retention: 2})
+	run := func(tag int) jobs.ID {
+		id, err := s.Submit(jobs.Spec{
+			Algorithm: "asgd",
+			Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+			Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+			Updates:   tag,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, id, jobs.StateDone)
+		return id
+	}
+	first := run(20)
+	second := run(21)
+	third := run(22)
+	if _, err := s.Status(first); !errors.Is(err, jobs.ErrUnknownJob) {
+		t.Fatalf("evicted job Status: %v, want ErrUnknownJob", err)
+	}
+	for _, id := range []jobs.ID{second, third} {
+		if _, err := s.Status(id); err != nil {
+			t.Fatalf("retained job %s: %v", id, err)
+		}
+	}
+	if got := len(s.List()); got != 2 {
+		t.Fatalf("List has %d jobs, want 2", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	bad := []jobs.Spec{
+		{},
+		{Algorithm: "no-such-algo", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}},
+		{Algorithm: "asgd"},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "no-such-dataset"}},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like", Scale: "galactic"}},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Barrier: jobs.BarrierSpec{Kind: "ssp"}},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Barrier: jobs.BarrierSpec{Kind: "magic"}},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Loss: "hinge"},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, SampleFrac: 1.5},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Updates: -1},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Step: jobs.StepSpec{Kind: "cubic"}},
+	}
+	for i, spec := range bad {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Fatalf("invalid specs counted as submissions: %+v", st)
+	}
+}
+
+func TestClosedScheduler(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	id, err := s.Submit(jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, jobs.StateDone)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(gateSpec(gateOrder, 1)); !errors.Is(err, jobs.ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}

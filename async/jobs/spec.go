@@ -1,0 +1,244 @@
+package jobs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/async"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+// DatasetSpec names a synthetic dataset from the catalog
+// (dataset.CatalogNames): rcv1-like, mnist8m-like, epsilon-like.
+type DatasetSpec struct {
+	Name string `json:"name"`
+	// Scale is tiny (default), small, or full.
+	Scale string `json:"scale,omitempty"`
+	// Seed defaults to 1; jobs with equal (name, scale, seed) share one
+	// generated dataset, which is what dataset-affinity routing keys on.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Key is the affinity/cache key: jobs with equal keys run against the same
+// in-memory dataset.
+func (d DatasetSpec) Key() string {
+	return fmt.Sprintf("%s@%s#%d", strings.ToLower(d.Name), d.Scale, d.Seed)
+}
+
+func (d *DatasetSpec) normalize() error {
+	if d.Name == "" {
+		return fmt.Errorf("jobs: dataset name is required (known: %s)",
+			strings.Join(dataset.CatalogNames(), ", "))
+	}
+	sc, err := dataset.ParseScale(d.Scale)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	d.Scale = dataset.ScaleName(sc)
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	if _, err := dataset.ByName(d.Name, sc, d.Seed); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// config resolves the generator configuration.
+func (d DatasetSpec) config() (dataset.SynthConfig, error) {
+	sc, err := dataset.ParseScale(d.Scale)
+	if err != nil {
+		return dataset.SynthConfig{}, err
+	}
+	return dataset.ByName(d.Name, sc, d.Seed)
+}
+
+// BarrierSpec selects the per-job barrier-control policy. The zero value
+// inherits the engine default (ASP unless configured otherwise).
+type BarrierSpec struct {
+	// Kind is asp, bsp, or ssp ("" = engine default).
+	Kind string `json:"kind,omitempty"`
+	// Staleness is the SSP bound; required for kind ssp.
+	Staleness int64 `json:"staleness,omitempty"`
+}
+
+func (b BarrierSpec) barrier() (async.Barrier, error) {
+	switch strings.ToLower(b.Kind) {
+	case "":
+		return nil, nil
+	case "asp":
+		return async.ASP(), nil
+	case "bsp":
+		return async.BSP(), nil
+	case "ssp":
+		if b.Staleness <= 0 {
+			return nil, fmt.Errorf("jobs: ssp barrier needs a positive staleness bound, got %d", b.Staleness)
+		}
+		return async.SSP(b.Staleness), nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown barrier kind %q (asp, bsp, ssp)", b.Kind)
+	}
+}
+
+// StepSpec selects the step-size schedule. The zero value is
+// invsqrt(0.05) scaled down by the engine's worker count — the paper's
+// heuristic for asynchronous variants.
+type StepSpec struct {
+	// Kind is const, invsqrt, or async ("" = invsqrt).
+	Kind string `json:"kind,omitempty"`
+	// A is the base step size (default 0.05).
+	A float64 `json:"a,omitempty"`
+	// Factor divides the schedule (Scaled); 0 applies the default
+	// worker-count scaling for invsqrt and none for const.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+func (st StepSpec) schedule(workers int) (opt.Schedule, error) {
+	a := st.A
+	if a == 0 {
+		a = 0.05
+	}
+	if a < 0 {
+		return nil, fmt.Errorf("jobs: step a %v must be positive", a)
+	}
+	if st.Factor < 0 {
+		return nil, fmt.Errorf("jobs: step factor %v must be non-negative", st.Factor)
+	}
+	var base opt.Schedule
+	scale := st.Factor
+	switch strings.ToLower(st.Kind) {
+	case "const":
+		base = opt.Constant{A: a}
+	case "", "invsqrt":
+		base = opt.InvSqrt{A: a}
+		if scale == 0 {
+			scale = float64(workers)
+		}
+	case "async":
+		// AsyncDecay embeds its own worker-count scaling; an explicit
+		// Factor still divides uniformly like for the other kinds
+		base = opt.AsyncDecay{A: a, Workers: float64(workers)}
+	default:
+		return nil, fmt.Errorf("jobs: unknown step kind %q (const, invsqrt, async)", st.Kind)
+	}
+	if scale > 0 && scale != 1 {
+		base = opt.Scaled{Base: base, Factor: scale}
+	}
+	return base, nil
+}
+
+// Spec declaratively describes one optimization job. Zero values take the
+// documented defaults, so the minimal request is an algorithm plus a
+// dataset name.
+type Spec struct {
+	// Algorithm is any solver resolvable by the registry (async.Solvers).
+	Algorithm string      `json:"algorithm"`
+	Dataset   DatasetSpec `json:"dataset"`
+	Barrier   BarrierSpec `json:"barrier,omitzero"`
+	Step      StepSpec    `json:"step,omitzero"`
+
+	// Loss is least-squares (default) or logistic.
+	Loss string `json:"loss,omitempty"`
+	// SampleFrac is the mini-batch sampling rate b (default 0.3).
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	// Updates is the model-update budget (default 200; rounds for
+	// admm/bcd).
+	Updates int `json:"updates,omitempty"`
+	// SnapshotEvery is the trace/progress resolution (default Updates/10).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// StalenessLR applies the staleness-dependent learning-rate modulation.
+	StalenessLR bool `json:"staleness_lr,omitempty"`
+
+	// Priority orders the queue: higher runs first, FIFO within a level.
+	Priority int `json:"priority,omitempty"`
+
+	// FStar is the reference optimum f(w*) subtracted from progress and
+	// trace errors; AutoFStar computes (and caches per dataset) the
+	// least-squares reference optimum server-side instead.
+	FStar     float64 `json:"fstar,omitempty"`
+	AutoFStar bool    `json:"auto_fstar,omitempty"`
+}
+
+func (sp *Spec) normalize() error {
+	if sp.Algorithm == "" {
+		return fmt.Errorf("jobs: algorithm is required (known: %s)", strings.Join(async.Solvers(), ", "))
+	}
+	if _, err := async.Lookup(sp.Algorithm); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := sp.Dataset.normalize(); err != nil {
+		return err
+	}
+	if _, err := sp.Barrier.barrier(); err != nil {
+		return err
+	}
+	if _, err := sp.loss(); err != nil {
+		return err
+	}
+	if sp.SampleFrac == 0 {
+		sp.SampleFrac = 0.3
+	}
+	if sp.SampleFrac < 0 || sp.SampleFrac > 1 {
+		return fmt.Errorf("jobs: sample_frac %v outside (0,1]", sp.SampleFrac)
+	}
+	if sp.Updates == 0 {
+		sp.Updates = 200
+	}
+	if sp.Updates < 0 {
+		return fmt.Errorf("jobs: updates %d must be positive", sp.Updates)
+	}
+	if sp.SnapshotEvery == 0 {
+		sp.SnapshotEvery = sp.Updates / 10
+		if sp.SnapshotEvery < 1 {
+			sp.SnapshotEvery = 1
+		}
+	}
+	if sp.SnapshotEvery < 0 {
+		return fmt.Errorf("jobs: snapshot_every %d must be positive", sp.SnapshotEvery)
+	}
+	if _, err := sp.Step.schedule(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sp Spec) loss() (opt.Loss, error) {
+	switch strings.ToLower(sp.Loss) {
+	case "", "least-squares", "ls":
+		return opt.LeastSquares{}, nil
+	case "logistic":
+		return opt.Logistic{}, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown loss %q (least-squares, logistic)", sp.Loss)
+	}
+}
+
+// solveOptions assembles the engine-facing run configuration. workers is
+// the executing engine's pool size (step-schedule scaling).
+func (sp Spec) solveOptions(workers int) (async.SolveOptions, error) {
+	loss, err := sp.loss()
+	if err != nil {
+		return async.SolveOptions{}, err
+	}
+	barrier, err := sp.Barrier.barrier()
+	if err != nil {
+		return async.SolveOptions{}, err
+	}
+	step, err := sp.Step.schedule(workers)
+	if err != nil {
+		return async.SolveOptions{}, err
+	}
+	return async.SolveOptions{
+		Params: opt.Params{
+			Loss:          loss,
+			Step:          step,
+			SampleFrac:    sp.SampleFrac,
+			Updates:       sp.Updates,
+			Barrier:       barrier,
+			StalenessLR:   sp.StalenessLR,
+			SnapshotEvery: sp.SnapshotEvery,
+		},
+		FStar: sp.FStar,
+	}, nil
+}

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -43,16 +42,11 @@ func main() {
 	if !*quiet {
 		o.Log = os.Stderr
 	}
-	switch strings.ToLower(*scale) {
-	case "tiny":
-		o.Scale = dataset.ScaleTiny
-	case "small":
-		o.Scale = dataset.ScaleSmall
-	case "full":
-		o.Scale = dataset.ScaleFull
-	default:
-		fatalf("unknown scale %q", *scale)
+	sc, err := dataset.ParseScale(*scale)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	o.Scale = sc
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -1,26 +1,34 @@
-// Command asyncd runs the engine over real TCP sockets: one server process
-// and N worker processes. It demonstrates that the ASYNC protocol (tasks,
-// results, installs, versioned broadcast fetches) works across a real
-// transport, running a short ASGD job on a synthetic dataset through the
-// public async facade and its TCP transport.
+// Command asyncd is the ASYNC serving daemon. It has three roles:
 //
-// Server (drives the job):
+// Serve (the default): a long-running job-scheduling service over a pool
+// of in-process engines, exposing the JSON/HTTP API of async/jobs — any
+// registry algorithm, any catalog dataset, any barrier policy, per
+// request:
+//
+//	asyncd -listen :8080 -engines 2 -workers 4
+//	curl -s localhost:8080/v1/jobs -d '{"algorithm":"asgd","dataset":{"name":"rcv1-like"}}'
+//
+// TCP demo roles: one server process driving N worker processes over real
+// sockets, demonstrating the ASYNC protocol (tasks, results, installs,
+// versioned broadcast fetches) across a real transport:
 //
 //	asyncd -role server -addr :7077 -workers 4
-//
-// Workers (one per process; id in [0, workers)):
-//
 //	asyncd -role worker -addr host:7077 -id 0
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/async"
+	"repro/async/jobs"
 	"repro/internal/dataset"
 	"repro/internal/opt"
 	"repro/internal/straggler"
@@ -28,15 +36,23 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "", "server|worker")
-		addr    = flag.String("addr", ":7077", "listen/dial address")
-		workers = flag.Int("workers", 4, "number of workers (server)")
+		role    = flag.String("role", "serve", "serve|server|worker")
+		listen  = flag.String("listen", ":8080", "HTTP listen address (serve)")
+		engines = flag.Int("engines", 2, "engine-pool size (serve)")
+		queue   = flag.Int("queue", 64, "job-queue depth (serve)")
+		retain  = flag.Int("retain", 256, "terminal jobs retained (serve)")
+		addr    = flag.String("addr", ":7077", "listen/dial address (server, worker)")
+		workers = flag.Int("workers", 4, "workers per engine (serve) or per cluster (server)")
 		id      = flag.Int("id", 0, "worker id (worker)")
 		updates = flag.Int("updates", 200, "ASGD updates to run (server)")
 		delayW  = flag.Int("straggle", -1, "worker id to delay at 100% (worker; -1 = none)")
 	)
 	flag.Parse()
 	switch *role {
+	case "serve":
+		if err := runService(*listen, *engines, *workers, *queue, *retain); err != nil {
+			fatalf("serve: %v", err)
+		}
 	case "server":
 		if err := runServer(*addr, *workers, *updates); err != nil {
 			fatalf("server: %v", err)
@@ -50,10 +66,53 @@ func main() {
 			fatalf("worker %d: %v", *id, err)
 		}
 	default:
-		fatalf("-role must be server or worker")
+		fatalf("-role must be serve, server, or worker")
 	}
 }
 
+// runService runs the job-scheduling daemon until SIGINT/SIGTERM.
+func runService(listen string, engines, workers, queue, retain int) error {
+	sched, err := jobs.New(jobs.Config{
+		Engines:       engines,
+		QueueDepth:    queue,
+		Retention:     retain,
+		EngineOptions: []async.Option{async.WithWorkers(workers)},
+	})
+	if err != nil {
+		return err
+	}
+	defer sched.Close()
+	srv := &http.Server{Addr: listen, Handler: jobs.NewHandler(sched)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "asyncd: serving on %s (%d engines × %d workers, queue %d)\n",
+		listen, engines, workers, queue)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "asyncd: %v, draining\n", sig)
+	}
+	// close the scheduler first: it cancels jobs and closes event
+	// subscriptions, so long-lived SSE handlers return and Shutdown can
+	// drain instead of hanging on them until the timeout
+	if err := sched.Close(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runServer drives the TCP demo job: one short ASGD run over real sockets.
 func runServer(addr string, workers, updates int) error {
 	fmt.Fprintf(os.Stderr, "asyncd: waiting for %d workers on %s\n", workers, addr)
 	eng, err := async.New(

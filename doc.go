@@ -9,6 +9,11 @@
 // asgd, saga, asaga, svrg, admm, bcd), the Mllib-style baseline, and the
 // TCP-transport variants are pre-registered.
 //
+// async/jobs layers multi-tenant serving on top: a Scheduler owning a
+// pool of engines and a bounded priority queue of jobs, with dataset-
+// affinity routing, per-job cancellation, progress-event streams, and a
+// JSON/HTTP API. cmd/asyncd runs it as a long-lived daemon.
+//
 // The machinery lives under internal/: a Spark-like dataflow substrate
 // (cluster, rdd), the ASYNC engine itself (core), the optimization methods
 // the paper evaluates and their registry (opt), straggler models

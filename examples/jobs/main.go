@@ -1,0 +1,91 @@
+// Example jobs drives the job-scheduling subsystem in-process: a 2-engine
+// pool serving a burst of mixed optimization jobs — different algorithms,
+// datasets, barriers and priorities — with live progress streaming for one
+// of them. The same Specs POST unchanged to a running asyncd daemon.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+)
+
+func main() {
+	sched, err := jobs.New(jobs.Config{
+		Engines:       2,
+		EngineOptions: []async.Option{async.WithWorkers(4)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sched.Close()
+
+	specs := []jobs.Spec{
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "rcv1-like"}, Updates: 400, AutoFStar: true},
+		{Algorithm: "saga", Dataset: jobs.DatasetSpec{Name: "rcv1-like"},
+			Step: jobs.StepSpec{Kind: "const", A: 0.05, Factor: 1}, Updates: 100, AutoFStar: true},
+		{Algorithm: "asgd", Dataset: jobs.DatasetSpec{Name: "mnist8m-like"},
+			Barrier: jobs.BarrierSpec{Kind: "ssp", Staleness: 16},
+			Step:    jobs.StepSpec{A: 0.002}, Updates: 400, AutoFStar: true},
+		{Algorithm: "sgd", Dataset: jobs.DatasetSpec{Name: "epsilon-like"},
+			Step: jobs.StepSpec{A: 0.02}, Updates: 80, AutoFStar: true},
+		// high priority: jumps the queue ahead of earlier submissions
+		{Algorithm: "asaga", Dataset: jobs.DatasetSpec{Name: "rcv1-like"},
+			Step: jobs.StepSpec{Kind: "const", A: 0.0125, Factor: 1}, Updates: 400,
+			Priority: 10, AutoFStar: true},
+		{Algorithm: "admm", Dataset: jobs.DatasetSpec{Name: "epsilon-like"}, Updates: 20, AutoFStar: true},
+	}
+	ids := make([]jobs.ID, len(specs))
+	for i, spec := range specs {
+		if ids[i], err = sched.Submit(spec); err != nil {
+			log.Fatalf("submit %d: %v", i, err)
+		}
+		fmt.Printf("submitted %-7s %-14s as %s (priority %d)\n",
+			spec.Algorithm, spec.Dataset.Name, ids[i], spec.Priority)
+	}
+
+	// follow the first job's event stream while the pool works the queue
+	events, stop, err := sched.Subscribe(ids[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	for ev := range events {
+		switch {
+		case ev.Type == jobs.EventProgress && ev.Error != nil:
+			fmt.Printf("  %s: %5d updates, error %.4g (%.1f ms)\n",
+				ev.Job, ev.Updates, *ev.Error, ev.ElapsedMS)
+		case ev.Type == jobs.EventProgress:
+			fmt.Printf("  %s: %5d updates (%.1f ms)\n", ev.Job, ev.Updates, ev.ElapsedMS)
+		default:
+			fmt.Printf("  %s: %s\n", ev.Job, ev.Type)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fmt.Println("\njob                state     engine  updates  final error   mean wait")
+	for _, id := range ids {
+		job, err := sched.Wait(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		finalErr := "n/a"
+		if job.FinalError != nil {
+			finalErr = fmt.Sprintf("%.6g", *job.FinalError)
+		}
+		wait := "n/a"
+		if job.Wait != nil {
+			wait = fmt.Sprintf("%.3f ms", job.Wait.MeanMS)
+		}
+		fmt.Printf("%-18s %-9s %6d %8d  %-12s  %s\n",
+			job.ID, job.State, job.Engine, job.Updates, finalErr, wait)
+	}
+	st := sched.Stats()
+	fmt.Printf("\npool: %d/%d engines, %d done, avg queue wait %.1f ms, max %.1f ms\n",
+		st.EnginesLive, st.EnginesMax, st.Done, st.AvgQueueWaitMS, st.MaxQueueWaitMS)
+}

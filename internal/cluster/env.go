@@ -124,6 +124,16 @@ func (e *Env) StoreDelete(key string) {
 	delete(e.store, key)
 }
 
+// StoreClear drops every worker-local value. The store holds per-run state
+// (broadcast history tables, ADMM subproblem state), so a reused engine
+// clears it between runs to keep jobs from observing a predecessor's
+// state.
+func (e *Env) StoreClear() {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	e.store = nil
+}
+
 // BroadcastValue resolves a broadcast value: cache first, then a blocking
 // fetch from the server. This is the worker half of the ASYNCbroadcaster:
 // the server re-broadcasts only (id, version); the value itself crosses the

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/gob"
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -46,6 +47,61 @@ func (ac *Context) Close() { ac.coord.Close() }
 // finishes (typically deferred); the AC is reusable afterwards.
 func (ac *Context) Bind(ctx context.Context) (release func()) {
 	return ac.coord.bindContext(ctx)
+}
+
+// resetRunOp clears worker-local per-run state; registered so the reset
+// also crosses real transports (the op must exist in worker processes,
+// which import this package through the facade).
+const resetRunOp = "core.reset-run"
+
+func init() {
+	cluster.RegisterOp(resetRunOp, func(env *cluster.Env, _ *cluster.Task) (any, error) {
+		env.StoreClear()
+		return nil, nil
+	})
+}
+
+// ResetRun prepares a reused engine for a fresh, independent run: it waits
+// (bounded by timeout) for stray in-flight tasks of the previous run and
+// discards their results, zeroes the logical update clock and per-run
+// statistics, and clears worker-local run state (broadcast history tables,
+// ADMM subproblem state) on every live worker. Without it a second solve
+// on the same engine inherits the predecessor's clock — instantly
+// exhausting its update budget — and its history. Call only between runs.
+func (ac *Context) ResetRun(timeout time.Duration) error {
+	if err := ac.coord.ResetRun(timeout); err != nil {
+		return err
+	}
+	c := ac.rctx.Cluster()
+	router := c.Router()
+	workers := c.AliveWorkers()
+	ch := make(chan *cluster.Result, len(workers))
+	pending := map[int64]bool{}
+	for _, w := range workers {
+		t := &cluster.Task{ID: c.NextTaskID(), Op: resetRunOp, Partition: -1}
+		router.Route(t.ID, ch)
+		if err := c.Submit(w, t); err != nil {
+			router.Unroute(t.ID)
+			continue // a worker that died since AliveWorkers holds no state worth clearing
+		}
+		pending[t.ID] = true
+	}
+	n := len(pending)
+	deadline := time.After(timeout)
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-ch:
+			delete(pending, r.TaskID)
+		case <-deadline:
+			// unroute the unacknowledged tasks so retries on a wedged
+			// engine don't accumulate dead routes in the router
+			for id := range pending {
+				router.Unroute(id)
+			}
+			return fmt.Errorf("core: reset-run: %d/%d workers acknowledged before timeout", i, n)
+		}
+	}
+	return nil
 }
 
 // STAT snapshots the worker status table (AC.STAT in Table 1).

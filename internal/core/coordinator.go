@@ -105,6 +105,12 @@ func (co *Coordinator) ingest(r *cluster.Result) {
 		return
 	}
 	staleness := co.updates - r.Dispatch
+	if staleness < 0 {
+		// a task dispatched before a ResetRun zeroed the clock (ResetRun
+		// fails unless the previous run fully drained, so this task belongs
+		// to the current run's dataset); only its staleness value is stale
+		staleness = 0
+	}
 	ws.available = true
 	ws.inflight = 0
 	ws.lastStale = staleness
@@ -171,6 +177,49 @@ func (co *Coordinator) sweep() {
 	if changed {
 		co.cond.Broadcast()
 	}
+}
+
+// ResetRun clears per-run coordinator state between solves on a reused
+// engine: the logical update clock, undelivered results, wait and
+// staleness statistics, and per-worker dispatch bookkeeping. It first
+// waits (bounded by timeout) for in-flight tasks of the previous run to
+// land, discarding their results — an aborted run skips its drain, and its
+// strays must not leak into the next run's result queue. If stragglers are
+// still in flight at the deadline it fails: their eventual results would
+// be computed against the previous run's (possibly different) dataset, so
+// starting the next run would silently corrupt it. Call only while no
+// solve is active.
+func (co *Coordinator) ResetRun(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		co.mu.Lock()
+		co.cond.Broadcast()
+		co.mu.Unlock()
+	})
+	defer timer.Stop()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for co.pending > 0 && !co.closed && time.Now().Before(deadline) {
+		co.queue = nil
+		co.cond.Wait()
+	}
+	if co.pending > 0 && !co.closed {
+		return fmt.Errorf("core: reset-run: %d tasks of the previous run still in flight after %v", co.pending, timeout)
+	}
+	co.queue = nil
+	co.updates = 0
+	co.waitTotal = map[int]time.Duration{}
+	co.waitCount = map[int]int64{}
+	co.staleHist = map[int64]int64{}
+	for _, ws := range co.workers {
+		ws.dispatch = 0
+		ws.lastStale = 0
+		// task-time averages feed MaxAvgTaskTime filters: the next run's
+		// barrier decisions must not see the previous dataset's timings
+		ws.totalTime = 0
+		ws.completed = 0
+	}
+	return nil
 }
 
 // StalenessHistogram snapshots the distribution of result staleness values

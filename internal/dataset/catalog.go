@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// catalog maps the Table 2 dataset names to their synthetic generators, so
+// serving layers can resolve a dataset from a request by name instead of
+// hard-coding one generator per call site.
+var catalog = map[string]func(Scale, int64) SynthConfig{
+	"rcv1-like":    RCV1Like,
+	"mnist8m-like": MNIST8MLike,
+	"epsilon-like": EpsilonLike,
+}
+
+// CatalogNames lists the named synthetic datasets, sorted.
+func CatalogNames() []string {
+	out := make([]string, 0, len(catalog))
+	for name := range catalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseScale resolves a scale name ("tiny", "small", "full"); the empty
+// string defaults to tiny.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "", "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return ScaleTiny, fmt.Errorf("dataset: unknown scale %q (tiny, small, full)", s)
+	}
+}
+
+// ScaleName renders a Scale back to its catalog name.
+func ScaleName(s Scale) string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleFull:
+		return "full"
+	default:
+		return "tiny"
+	}
+}
+
+// ByName resolves a named synthetic dataset configuration at the given
+// scale and seed (case-insensitive).
+func ByName(name string, s Scale, seed int64) (SynthConfig, error) {
+	mk, ok := catalog[strings.ToLower(name)]
+	if !ok {
+		return SynthConfig{}, fmt.Errorf("dataset: unknown dataset %q (known: %s)",
+			name, strings.Join(CatalogNames(), ", "))
+	}
+	return mk(s, seed), nil
+}

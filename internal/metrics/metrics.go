@@ -95,6 +95,31 @@ func SharedTarget(a, b *Trace, margin float64) float64 {
 	return worst + margin*(initial-worst)
 }
 
+// WaitSummary condenses the per-worker wait table (the data behind Figures
+// 4 and 6) into the scalars a serving layer reports per job.
+type WaitSummary struct {
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	Workers int     `json:"workers"`
+}
+
+// Waits summarizes the trace's per-worker average wait times.
+func (t *Trace) Waits() WaitSummary {
+	s := WaitSummary{Workers: len(t.AvgWait)}
+	if len(t.AvgWait) == 0 {
+		return s
+	}
+	var max time.Duration
+	for _, w := range t.AvgWait {
+		if w > max {
+			max = w
+		}
+	}
+	s.MeanMS = float64(t.MeanWait().Microseconds()) / 1000.0
+	s.MaxMS = float64(max.Microseconds()) / 1000.0
+	return s
+}
+
 // Format renders the trace as aligned rows "time_ms  updates  error",
 // the series behind the paper's convergence figures.
 func (t *Trace) Format() string {

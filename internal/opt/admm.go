@@ -35,6 +35,10 @@ type ADMMParams struct {
 	Barrier  core.BarrierFunc
 	Filter   core.WorkerFilter
 	Snapshot int // trace resolution in z-updates
+
+	// OnProgress observes recorder snapshots as z-updates land (see
+	// Params.OnProgress).
+	OnProgress ProgressFunc
 }
 
 func (p *ADMMParams) defaults() error {
@@ -147,6 +151,7 @@ func ADMM(ac *core.Context, d *dataset.Dataset, p ADMMParams, fstar float64) (*R
 	cols := d.NumCols()
 	z := la.NewVec(cols)
 	rec := NewRecorder(p.Snapshot)
+	rec.Notify(p.OnProgress)
 	rec.Force(0, z)
 	// latest contribution per worker: sum of (x_i+u_i) over its partitions
 	// plus how many partitions it covered

@@ -32,7 +32,7 @@ func MllibSGDCtx(ctx context.Context, rctx *rdd.Context, points *rdd.RDD[rdd.Poi
 		return nil, err
 	}
 	w := la.NewVec(d.NumCols())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	loss := p.Loss
 	for k := int64(0); k < int64(p.Updates); k++ {
@@ -96,7 +96,7 @@ func SAGAFullTableBroadcast(rctx *rdd.Context, points *rdd.RDD[rdd.Point], d *da
 	}
 	cols := d.NumCols()
 	st := newSagaState(cols, d.NumRows())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, st.w)
 	loss := p.Loss
 	// history table: sample index → model at last touch (driver side);

@@ -33,6 +33,10 @@ type BCDParams struct {
 	Filter    core.WorkerFilter
 	Snapshot  int
 	Seed      int64
+
+	// OnProgress observes recorder snapshots as block updates land (see
+	// Params.OnProgress).
+	OnProgress ProgressFunc
 }
 
 func (p *BCDParams) defaults(cols int) error {
@@ -121,6 +125,7 @@ func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) 
 	rng := rand.New(rand.NewSource(p.Seed + 1))
 	w := la.NewVec(d.NumCols())
 	rec := NewRecorder(p.Snapshot)
+	rec.Notify(p.OnProgress)
 	rec.Force(0, w)
 	perm := make([]int32, d.NumCols())
 	for j := range perm {

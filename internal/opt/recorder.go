@@ -16,13 +16,29 @@ type snapshot struct {
 	w       la.Vec
 }
 
+// Progress is one in-run progress sample, delivered through a ProgressFunc
+// every time the recorder takes a snapshot. W is the snapshot's own copy of
+// the model: receivers may read or retain it but must not mutate it (the
+// trace is resolved from the same backing array after the run).
+type Progress struct {
+	Updates int64
+	Elapsed time.Duration
+	Final   bool // true for the Finish snapshot
+	W       la.Vec
+}
+
+// ProgressFunc receives in-run progress samples. It is called synchronously
+// on the driver goroutine, so implementations should be quick or hand off.
+type ProgressFunc func(Progress)
+
 // Recorder captures model snapshots every `every` updates (plus the first
 // and the moment Finish is called).
 type Recorder struct {
-	start time.Time
-	every int
-	snaps []snapshot
-	total time.Duration
+	start      time.Time
+	every      int
+	snaps      []snapshot
+	total      time.Duration
+	onProgress ProgressFunc
 }
 
 // NewRecorder starts the clock. every <= 0 disables periodic snapshots
@@ -31,22 +47,35 @@ func NewRecorder(every int) *Recorder {
 	return &Recorder{start: time.Now(), every: every}
 }
 
+// Notify registers fn to observe every snapshot as it is taken — the hook
+// solvers use to report per-epoch progress to a supervising layer (e.g. the
+// job scheduler) without waiting for the final Result. nil is allowed.
+func (r *Recorder) Notify(fn ProgressFunc) { r.onProgress = fn }
+
+func (r *Recorder) record(elapsed time.Duration, updates int64, w la.Vec, final bool) {
+	wc := w.Clone()
+	r.snaps = append(r.snaps, snapshot{elapsed, updates, wc})
+	if r.onProgress != nil {
+		r.onProgress(Progress{Updates: updates, Elapsed: elapsed, Final: final, W: wc})
+	}
+}
+
 // Maybe records a snapshot if the update count hits the cadence.
 func (r *Recorder) Maybe(updates int64, w la.Vec) {
 	if r.every > 0 && updates%int64(r.every) == 0 {
-		r.snaps = append(r.snaps, snapshot{time.Since(r.start), updates, w.Clone()})
+		r.record(time.Since(r.start), updates, w, false)
 	}
 }
 
 // Force records a snapshot unconditionally.
 func (r *Recorder) Force(updates int64, w la.Vec) {
-	r.snaps = append(r.snaps, snapshot{time.Since(r.start), updates, w.Clone()})
+	r.record(time.Since(r.start), updates, w, false)
 }
 
 // Finish stamps the total duration and records the final model.
 func (r *Recorder) Finish(updates int64, w la.Vec) {
 	r.total = time.Since(r.start)
-	r.snaps = append(r.snaps, snapshot{r.total, updates, w.Clone()})
+	r.record(r.total, updates, w, true)
 }
 
 // Resolve evaluates every snapshot against the dataset and reference
@@ -65,3 +94,11 @@ func (r *Recorder) Resolve(d *dataset.Dataset, loss Loss, fstar float64) []metri
 
 // Total returns the stamped run duration.
 func (r *Recorder) Total() time.Duration { return r.total }
+
+// recorder builds a run's snapshot recorder with the params' progress hook
+// already attached, so every solver reports through the same channel.
+func (p *Params) recorder() *Recorder {
+	r := NewRecorder(p.SnapshotEvery)
+	r.Notify(p.OnProgress)
+	return r
+}

@@ -182,26 +182,28 @@ func solveSVRG(_ context.Context, r SolveRequest) (*Result, error) {
 func solveADMM(_ context.Context, r SolveRequest) (*Result, error) {
 	cfg := r.Config
 	return ADMM(r.AC, r.Data, ADMMParams{
-		Rho:      cfg.ADMM.Rho,
-		Rounds:   cfg.Updates,
-		CGTol:    cfg.ADMM.CGTol,
-		CGIters:  cfg.ADMM.CGIters,
-		Barrier:  cfg.Barrier,
-		Filter:   cfg.Filter,
-		Snapshot: cfg.SnapshotEvery,
+		Rho:        cfg.ADMM.Rho,
+		Rounds:     cfg.Updates,
+		CGTol:      cfg.ADMM.CGTol,
+		CGIters:    cfg.ADMM.CGIters,
+		Barrier:    cfg.Barrier,
+		Filter:     cfg.Filter,
+		Snapshot:   cfg.SnapshotEvery,
+		OnProgress: cfg.OnProgress,
 	}, cfg.FStar)
 }
 
 func solveBCD(_ context.Context, r SolveRequest) (*Result, error) {
 	cfg := r.Config
 	bp := BCDParams{
-		BlockSize: cfg.BCD.BlockSize,
-		Step:      cfg.BCD.Step,
-		Updates:   cfg.Updates,
-		Barrier:   cfg.Barrier,
-		Filter:    cfg.Filter,
-		Snapshot:  cfg.SnapshotEvery,
-		Seed:      cfg.BCD.Seed,
+		BlockSize:  cfg.BCD.BlockSize,
+		Step:       cfg.BCD.Step,
+		Updates:    cfg.Updates,
+		Barrier:    cfg.Barrier,
+		Filter:     cfg.Filter,
+		Snapshot:   cfg.SnapshotEvery,
+		Seed:       cfg.BCD.Seed,
+		OnProgress: cfg.OnProgress,
 	}
 	if bp.BlockSize <= 0 {
 		bp.BlockSize = 32

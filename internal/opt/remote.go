@@ -93,7 +93,7 @@ func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) 
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, st.w)
 	updates := int64(0)
 	for updates < int64(p.Updates) {
@@ -160,7 +160,7 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 		return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
 	}
 	w := la.NewVec(d.NumCols())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	updates := int64(0)
 	keep := 4 * ac.RDD().Cluster().NumWorkers()

@@ -75,7 +75,7 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, st.w)
 	for k := int64(0); k < int64(p.Updates); k++ {
 		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
@@ -128,7 +128,7 @@ func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resu
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, st.w)
 	updates := int64(0)
 	for updates < int64(p.Updates) {

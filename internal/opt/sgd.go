@@ -38,6 +38,11 @@ type Params struct {
 
 	// SnapshotEvery controls trace resolution (model snapshots per updates).
 	SnapshotEvery int
+
+	// OnProgress, when non-nil, observes every recorder snapshot as the run
+	// progresses — the hook a supervising layer (e.g. the job scheduler)
+	// uses to stream live convergence state. Never serialized.
+	OnProgress ProgressFunc
 }
 
 // initModel builds the starting model for a run.
@@ -153,7 +158,7 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 		return nil, err
 	}
 	st := newStepper(p.Momentum, d.NumCols())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	gSum := la.NewVec(d.NumCols())
 	keep := 4 * ac.RDD().Cluster().NumWorkers()
@@ -207,7 +212,7 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 		return nil, err
 	}
 	st := newStepper(p.Momentum, d.NumCols())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	updates := int64(0)
 	// in-flight tasks reference at most one version per worker, so pruning

@@ -32,7 +32,7 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 		return nil, fmt.Errorf("opt: EpochVR needs positive Epochs and UpdatesPerEpoch")
 	}
 	w := la.NewVec(d.NumCols())
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	mu := la.NewVec(d.NumCols())
 	updates := int64(0)

@@ -100,7 +100,7 @@ func SparseASGD(ac *core.Context, d *dataset.Dataset, p Params, topKFrac float64
 	if err != nil {
 		return nil, 0, err
 	}
-	rec := NewRecorder(p.SnapshotEvery)
+	rec := p.recorder()
 	rec.Force(0, w)
 	updates := int64(0)
 	var coordsShipped int64

@@ -75,6 +75,21 @@ func (ctx *Context) Distribute(d *dataset.Dataset, numPartitions int) (*RDD[Poin
 	return basePointRDD(ctx, numPartitions), nil
 }
 
+// Release drops every placed partition and its driver-side lineage root,
+// returning the context to its pre-Distribute state so a different dataset
+// can be distributed on the same cluster. Worker-side copies of the old
+// partitions are overwritten index-by-index on the next Distribute; any
+// leftovers with indices beyond the new partition count are unreachable
+// (tasks only target placed partitions) and are reclaimed when the worker
+// shuts down.
+func (ctx *Context) Release() {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	ctx.placement = map[int]int{}
+	ctx.master = map[int]*dataset.Partition{}
+	ctx.byWorker = map[int][]int{}
+}
+
 // NumPartitions returns the number of placed partitions.
 func (ctx *Context) NumPartitions() int {
 	ctx.mu.Lock()
