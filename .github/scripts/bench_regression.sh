@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_regression.sh <base-ref> — the CI bench-regression gate.
+#
+# Runs the Go micro/scheduler benchmarks and the asyncbench -json suite on
+# the working tree, then again at the merge-base in a throwaway git
+# worktree, compares the raw benchmarks with benchstat (human-readable) and
+# gates on the BENCH json reports via `asyncbench -compare` (>15% worse on
+# any shared metric fails). If the merge-base predates the -json flag the
+# gate is skipped (there is no baseline to regress against) but the PR
+# report is still produced for the artifact upload.
+set -euo pipefail
+
+base_ref="${1:-}"
+go_benches='BenchmarkGradKernelLocal|BenchmarkGradInnerLoop|BenchmarkCSRMatVec|BenchmarkSparseGradAccum'
+
+echo "== benchmarks @ PR head =="
+go test -run '^$' -bench "$go_benches" -benchmem -count 5 . | tee bench_new.txt
+go test -run '^$' -bench BenchmarkSchedulerThroughput -benchtime 100x -count 3 ./async/jobs/ | tee -a bench_new.txt
+# overwrite any committed snapshot of the same date: the gate and the
+# artifact must carry THIS run's numbers, not a checked-in baseline's
+pr_report="BENCH_$(date -u +%F).json"
+go run ./cmd/asyncbench -json -out "$pr_report" -schedjobs 40 -quiet
+
+if [ -z "$base_ref" ]; then
+  echo "no base ref (push build): report produced, nothing to compare against"
+  exit 0
+fi
+
+base_sha="$(git merge-base "$base_ref" HEAD)"
+echo "== benchmarks @ merge-base $base_sha =="
+worktree="$(mktemp -d)"
+git worktree add --detach "$worktree" "$base_sha" >/dev/null
+trap 'git worktree remove --force "$worktree" >/dev/null || true' EXIT
+
+(cd "$worktree" && go test -run '^$' -bench "$go_benches" -benchmem -count 5 . | tee "$OLDPWD/bench_old.txt") || true
+(cd "$worktree" && go test -run '^$' -bench BenchmarkSchedulerThroughput -benchtime 100x -count 3 ./async/jobs/ | tee -a "$OLDPWD/bench_old.txt") || true
+
+if [ -s bench_old.txt ]; then
+  echo "== benchstat old new =="
+  benchstat bench_old.txt bench_new.txt || true
+fi
+
+if (cd "$worktree" && go run ./cmd/asyncbench -json -out /tmp/bench_base.json -schedjobs 40 -quiet); then
+  echo "== regression gate (threshold 15%) =="
+  go run ./cmd/asyncbench -compare "/tmp/bench_base.json,$pr_report"
+else
+  echo "merge-base asyncbench has no -json mode; skipping the regression gate"
+fi

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# coverage_gate.sh <coverprofile> — the coverage ratchet: total statement
+# coverage may never drop below the floor checked into COVERAGE_RATCHET.
+# Raising coverage? Bump the ratchet in the same PR so it can only go up.
+set -euo pipefail
+
+profile="${1:-cover.out}"
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+floor="$(tr -d '[:space:]' < "$root/COVERAGE_RATCHET")"
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub("%", "", $3); print $3}')"
+if [ -z "$total" ]; then
+  echo "coverage_gate: could not parse total coverage from $profile" >&2
+  exit 1
+fi
+echo "total statement coverage: ${total}% (ratchet floor: ${floor}%)"
+
+below="$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t + 0 < f + 0) ? 1 : 0 }')"
+if [ "$below" = "1" ]; then
+  echo "FAIL: coverage ${total}% fell below the ratchet ${floor}%." >&2
+  echo "Add tests, or lower COVERAGE_RATCHET in this PR with justification." >&2
+  exit 1
+fi
+
+slack="$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t >= f + 2) ? 1 : 0 }')"
+if [ "$slack" = "1" ]; then
+  echo "note: coverage exceeds the ratchet by >=2 points; consider bumping COVERAGE_RATCHET to lock it in."
+fi

@@ -1,0 +1,146 @@
+// Package bench is the measurement layer behind the repo's performance
+// trajectory. It defines the stable BENCH_*.json result schema, a
+// programmatic suite that measures the hot paths (ns/gradient, allocs/op,
+// scheduler jobs/sec, wait-time summaries), and a threshold comparator the
+// CI bench-regression job gates on. cmd/asyncbench -json runs the suite;
+// cmd/asyncbench -compare gates two reports against each other.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump only when a field
+// changes meaning; adding entries is not a schema change (Compare skips
+// metrics absent from either side).
+const SchemaVersion = "asyncbench/v1"
+
+// Direction states which way a metric should move.
+type Direction string
+
+const (
+	LowerIsBetter  Direction = "lower"
+	HigherIsBetter Direction = "higher"
+)
+
+// Entry is one measured quantity in a report. Name is a stable metric id
+// ("grad.ns_per_sample"); renaming one silently drops it from regression
+// comparisons, so treat names as API.
+type Entry struct {
+	Name   string    `json:"name"`
+	Value  float64   `json:"value"`
+	Unit   string    `json:"unit"`
+	Better Direction `json:"better"`
+	Note   string    `json:"note,omitempty"`
+}
+
+// Report is the BENCH_*.json document: one run of the suite on one machine.
+type Report struct {
+	Schema  string  `json:"schema"`
+	Date    string  `json:"date"` // YYYY-MM-DD, UTC
+	Unix    int64   `json:"unix"`
+	Go      string  `json:"go"`
+	OS      string  `json:"os"`
+	Arch    string  `json:"arch"`
+	CPUs    int     `json:"cpus"`
+	Entries []Entry `json:"entries"`
+}
+
+// NewReport stamps an empty report with the current environment.
+func NewReport(now time.Time) *Report {
+	return &Report{
+		Schema: SchemaVersion,
+		Date:   now.UTC().Format("2006-01-02"),
+		Unix:   now.Unix(),
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+}
+
+// Add appends an entry.
+func (r *Report) Add(e Entry) { r.Entries = append(r.Entries, e) }
+
+// Lookup returns the entry named name.
+func (r *Report) Lookup(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// DefaultFilename is the BENCH_<date>.json artifact name for a run time.
+func DefaultFilename(now time.Time) string {
+	return "BENCH_" + now.UTC().Format("2006-01-02") + ".json"
+}
+
+// Write marshals the report to path (indented, trailing newline).
+func (r *Report) Write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport parses a BENCH_*.json file and checks the schema tag.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that moved the wrong way past the threshold.
+type Regression struct {
+	Name  string  `json:"name"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Unit  string  `json:"unit"`
+	Ratio float64 `json:"ratio"` // new/old for lower-is-better, old/new for higher
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g %s (%.0f%% worse)", r.Name, r.Old, r.New, r.Unit, (r.Ratio-1)*100)
+}
+
+// Compare reports the metrics of new that are worse than old by more than
+// threshold (0.15 = 15%). Metrics present in only one report are skipped so
+// the suite can grow without breaking old baselines; zero/negative old
+// values are skipped as degenerate. Direction comes from the NEW report
+// (the PR under test owns the metric definitions).
+func Compare(old, cur *Report, threshold float64) []Regression {
+	var regs []Regression
+	for _, e := range cur.Entries {
+		oe, ok := old.Lookup(e.Name)
+		if !ok || oe.Value <= 0 || e.Value <= 0 {
+			continue
+		}
+		var ratio float64
+		switch e.Better {
+		case HigherIsBetter:
+			ratio = oe.Value / e.Value
+		default: // lower is better
+			ratio = e.Value / oe.Value
+		}
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Name: e.Name, Old: oe.Value, New: e.Value, Unit: e.Unit, Ratio: ratio})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReportRoundTripAndFilename(t *testing.T) {
+	now := time.Date(2026, 7, 27, 12, 0, 0, 0, time.UTC)
+	if got := DefaultFilename(now); got != "BENCH_2026-07-27.json" {
+		t.Fatalf("DefaultFilename = %q", got)
+	}
+	r := NewReport(now)
+	r.Add(Entry{Name: "grad.ns_per_sample", Value: 85.2, Unit: "ns/gradient", Better: LowerIsBetter})
+	r.Add(Entry{Name: "sched.jobs_per_sec", Value: 700, Unit: "jobs/sec", Better: HigherIsBetter})
+	path := filepath.Join(t.TempDir(), DefaultFilename(now))
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Date != "2026-07-27" || len(back.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if e, ok := back.Lookup("grad.ns_per_sample"); !ok || e.Value != 85.2 {
+		t.Fatalf("lookup: %+v %v", e, ok)
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	now := time.Now()
+	old := NewReport(now)
+	old.Add(Entry{Name: "ns", Value: 100, Unit: "ns/op", Better: LowerIsBetter})
+	old.Add(Entry{Name: "jps", Value: 1000, Unit: "jobs/sec", Better: HigherIsBetter})
+	old.Add(Entry{Name: "gone", Value: 5, Unit: "x", Better: LowerIsBetter})
+
+	cur := NewReport(now)
+	cur.Add(Entry{Name: "ns", Value: 114, Unit: "ns/op", Better: LowerIsBetter})    // +14%: within 15%
+	cur.Add(Entry{Name: "jps", Value: 900, Unit: "jobs/sec", Better: HigherIsBetter}) // -10%: within
+	cur.Add(Entry{Name: "new", Value: 1, Unit: "x", Better: LowerIsBetter})         // only in new: skipped
+	if regs := Compare(old, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+
+	cur = NewReport(now)
+	cur.Add(Entry{Name: "ns", Value: 120, Unit: "ns/op", Better: LowerIsBetter})    // +20%: regression
+	cur.Add(Entry{Name: "jps", Value: 800, Unit: "jobs/sec", Better: HigherIsBetter}) // -20%: regression
+	regs := Compare(old, cur, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("expected 2 regressions, got %v", regs)
+	}
+	if regs[0].Name != "ns" || regs[1].Name != "jps" {
+		t.Fatalf("unexpected regression set: %v", regs)
+	}
+	// improvements never flag
+	cur = NewReport(now)
+	cur.Add(Entry{Name: "ns", Value: 10, Unit: "ns/op", Better: LowerIsBetter})
+	cur.Add(Entry{Name: "jps", Value: 5000, Unit: "jobs/sec", Better: HigherIsBetter})
+	if regs := Compare(old, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("improvements flagged: %v", regs)
+	}
+}
+
+// TestGradMetricsSmoke runs the kernel micro-measurements (not the
+// scheduler leg, which the CI bench job exercises) and sanity-checks the
+// zero-alloc invariant end to end through the suite plumbing.
+func TestGradMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmarks under -short")
+	}
+	r := NewReport(time.Now())
+	log := func(e Entry) { r.Add(e) }
+	if err := gradMetrics(log); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup("grad.allocs_per_task")
+	if !ok {
+		t.Fatal("grad.allocs_per_task missing")
+	}
+	// the inner loop is zero-alloc (see opt.TestGradSweepAllocFree); the one
+	// remaining per-task allocation is boxing the payload into `any`
+	if e.Value > 1 {
+		t.Errorf("steady-state gradient task allocates %v/op, want ≤ 1 (payload boxing)", e.Value)
+	}
+	if ns, ok := r.Lookup("grad.ns_per_sample"); !ok || ns.Value <= 0 {
+		t.Errorf("grad.ns_per_sample bogus: %+v", ns)
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/opt"
+)
+
+// SuiteOptions configure a suite run.
+type SuiteOptions struct {
+	// SchedulerJobs is how many jobs the serving-layer measurement pushes
+	// through the 2-engine pool (default 60).
+	SchedulerJobs int
+	// Log, when non-nil, receives one line per metric as it is measured.
+	Log io.Writer
+}
+
+func (o *SuiteOptions) defaults() {
+	if o.SchedulerJobs <= 0 {
+		o.SchedulerJobs = 60
+	}
+}
+
+// RunSuite measures the hot paths and returns a populated report:
+// micro-benchmarks of the gradient kernel (ns/gradient, allocs/op), the
+// sparse substrate, and an end-to-end scheduler throughput run with
+// wait-time summaries. Metric names are stable (see Entry).
+func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
+	opts.defaults()
+	r := NewReport(now)
+	log := func(e Entry) {
+		r.Add(e)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "%-28s %14.4g %s\n", e.Name, e.Value, e.Unit)
+		}
+	}
+
+	if err := gradMetrics(log); err != nil {
+		return nil, err
+	}
+	if err := substrateMetrics(log); err != nil {
+		return nil, err
+	}
+	if err := schedulerMetrics(log, opts.SchedulerJobs); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// gradEnv builds the single-worker environment the kernel benchmarks run
+// on: a synthetic 4000×200 dataset with 40 nnz/row, split 4 ways, model
+// broadcast cached. Mirrors BenchmarkGradKernelLocal in bench_test.go.
+func gradEnv() (*cluster.Env, []int, error) {
+	d, err := dataset.Generate(dataset.SynthConfig{
+		Name: "bench", Rows: 4000, Cols: 200, NNZPerRow: 40, Seed: 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := dataset.Split(d, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := cluster.NewEnv(0, 1, nil)
+	idx := make([]int, 0, len(parts))
+	for _, p := range parts {
+		if err := env.InstallPartition(p); err != nil {
+			return nil, nil, err
+		}
+		idx = append(idx, p.Index)
+	}
+	env.Cache().Put("w", 1, la.NewVec(d.NumCols()))
+	return env, idx, nil
+}
+
+func gradMetrics(log func(Entry)) error {
+	env, idx, err := gradEnv()
+	if err != nil {
+		return err
+	}
+	kern := opt.GradKernel(opt.LeastSquares{}, core.DynBroadcast{ID: "w", Version: 1}, 0.1)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, n, err := kern(env, idx, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n > 0 {
+				la.PutVec(v.(la.Vec))
+			}
+		}
+	})
+	log(Entry{Name: "grad.ns_per_task", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: "mini-batch GradKernel, 4 partitions, frac 0.1, steady state"})
+	log(Entry{Name: "grad.allocs_per_task", Value: float64(res.AllocsPerOp()), Unit: "allocs/op", Better: LowerIsBetter,
+		Note: "zero-alloc inner loop; the single steady-state alloc is payload boxing"})
+	log(Entry{Name: "grad.bytes_per_task", Value: float64(res.AllocedBytesPerOp()), Unit: "B/op", Better: LowerIsBetter})
+
+	// ns/gradient: full sweep (frac 1) so sampling noise doesn't enter
+	full := opt.GradKernel(opt.LeastSquares{}, core.DynBroadcast{ID: "w", Version: 1}, 1.0)
+	var samples int
+	res = testing.Benchmark(func(b *testing.B) {
+		samples = 0
+		for i := 0; i < b.N; i++ {
+			v, n, err := full(env, idx, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples += n
+			la.PutVec(v.(la.Vec))
+		}
+	})
+	perSample := float64(res.T.Nanoseconds()) / float64(samples)
+	log(Entry{Name: "grad.ns_per_sample", Value: perSample, Unit: "ns/gradient", Better: LowerIsBetter,
+		Note: "per-sample cost of the fused inner loop (40 nnz/row)"})
+	return nil
+}
+
+func substrateMetrics(log func(Entry)) error {
+	d, err := dataset.Generate(dataset.SynthConfig{
+		Name: "bench", Rows: 2000, Cols: 500, NNZPerRow: 25, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	m := d.X
+	x, y := la.NewVec(m.NumCols), la.NewVec(m.NumRows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MatVec(x, y)
+		}
+	})
+	bytesPerOp := float64(m.NNZ() * 12) // 8B value + 4B col index
+	log(Entry{Name: "la.matvec_mbps", Value: bytesPerOp / float64(res.NsPerOp()) * 1e3, Unit: "MB/s", Better: HigherIsBetter,
+		Note: "CSR MatVec streaming rate, 2000x500 @ 25 nnz/row"})
+
+	idx, val := m.RowNZ(0)
+	g := la.NewVec(m.NumCols)
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			la.GradAccum(0.5, idx, val, g)
+		}
+	})
+	log(Entry{Name: "la.grad_accum_ns", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: fmt.Sprintf("fused sparse scatter over %d nnz", len(idx))})
+	return nil
+}
+
+func schedulerMetrics(log func(Entry), n int) error {
+	s, err := jobs.New(jobs.Config{
+		Engines:    2,
+		QueueDepth: n + 1,
+		Retention:  n + 1,
+		EngineOptions: []async.Option{
+			async.WithWorkers(2),
+			async.WithPartitions(2),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	spec := jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   25,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// warm up: engines spun, dataset generated and distributed
+	id, err := s.Submit(spec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Wait(ctx, id); err != nil {
+		return err
+	}
+	start := time.Now()
+	ids := make([]jobs.ID, n)
+	for i := range ids {
+		if ids[i], err = s.Submit(spec); err != nil {
+			return err
+		}
+	}
+	var waitMeanMS float64
+	var waited int
+	for _, id := range ids {
+		job, err := s.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		if job.State != jobs.StateDone {
+			return fmt.Errorf("bench: job %s finished %s (%s)", job.ID, job.State, job.Err)
+		}
+		if job.Wait != nil {
+			waitMeanMS += job.Wait.MeanMS
+			waited++
+		}
+	}
+	elapsed := time.Since(start)
+	log(Entry{Name: "sched.jobs_per_sec", Value: float64(n) / elapsed.Seconds(), Unit: "jobs/sec", Better: HigherIsBetter,
+		Note: fmt.Sprintf("%d ASGD jobs through a 2-engine pool", n)})
+	if waited > 0 {
+		log(Entry{Name: "sched.worker_wait_mean_ms", Value: waitMeanMS / float64(waited), Unit: "ms", Better: LowerIsBetter,
+			Note: "mean per-worker wait across completed jobs"})
+	}
+	st := s.Stats()
+	log(Entry{Name: "sched.queue_wait_avg_ms", Value: st.AvgQueueWaitMS, Unit: "ms", Better: LowerIsBetter,
+		Note: "avg time jobs sat queued before dispatch"})
+	return nil
+}

@@ -25,6 +25,8 @@ type Env struct {
 	storeMu sync.Mutex
 	store   map[string]any
 
+	scratch Scratch
+
 	// fetch blocks until the server returns the broadcast value (id, version).
 	fetch func(id string, version int64) (any, error)
 }
@@ -91,6 +93,10 @@ func (e *Env) Rand(f func(*rand.Rand)) {
 
 // Cache exposes the worker's broadcast cache.
 func (e *Env) Cache() *BroadcastCache { return e.cache }
+
+// Scratch exposes the worker's typed scratch store (reusable compute
+// buffers and the per-worker task RNG). See Scratch for the reuse contract.
+func (e *Env) Scratch() *Scratch { return &e.scratch }
 
 // StoreGetOrCreate returns the worker-local value under key, creating it
 // with mk on first use. The ASYNC layer keeps per-worker history tables

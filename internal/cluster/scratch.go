@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/la"
+)
+
+// Scratch is the worker-local typed scratch store: reusable dense buffers
+// and a reseedable RNG that task kernels use instead of allocating per task.
+// It sits next to Env's untyped KV store but holds only throwaway compute
+// state — contents carry no meaning between tasks, so unlike the KV store it
+// survives Env.StoreClear and run resets, which is what keeps a reused
+// engine's steady state allocation-free across jobs.
+//
+// Workers execute one task at a time, so scratch buffers are never used by
+// two tasks concurrently; the mutex only protects the buffer maps for
+// callers that probe an Env from tests or tooling.
+type Scratch struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	vecs map[string]la.Vec
+	i32s map[string][]int32
+}
+
+// Vec returns a zeroed scratch vector of length n under key, reusing the
+// previous buffer when the length matches. The buffer is only valid until
+// the next Vec call with the same key; it must never escape the task (use
+// la.GetVec for accumulators that travel with the task result).
+func (s *Scratch) Vec(key string, n int) la.Vec {
+	s.mu.Lock()
+	if s.vecs == nil {
+		s.vecs = map[string]la.Vec{}
+	}
+	v, ok := s.vecs[key]
+	if !ok || len(v) != n {
+		v = la.NewVec(n)
+		s.vecs[key] = v
+	}
+	s.mu.Unlock()
+	v.Zero()
+	return v
+}
+
+// I32 returns a scratch []int32 of length n under key, reusing the previous
+// buffer when the length matches. Unlike Vec the contents are NOT cleared:
+// kernels that maintain a lookup table across tasks (e.g. the BCD block
+// index) rely on restoring their own sentinel values before returning.
+func (s *Scratch) I32(key string, n int) []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.i32s == nil {
+		s.i32s = map[string][]int32{}
+	}
+	v, ok := s.i32s[key]
+	if !ok || len(v) != n {
+		v = make([]int32, n)
+		s.i32s[key] = v
+	}
+	return v
+}
+
+// Rand returns the worker's reusable task RNG reseeded with seed. Reseeding
+// yields exactly the stream of rand.New(rand.NewSource(seed)), so kernels
+// that switched from per-task construction keep their reproducibility
+// contract: the same task seed always draws the same sample set.
+func (s *Scratch) Rand(seed int64) *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+		return s.rng
+	}
+	s.rng.Seed(seed)
+	return s.rng
+}

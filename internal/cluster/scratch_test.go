@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScratchVecReuse(t *testing.T) {
+	env := NewEnv(0, 1, nil)
+	v := env.Scratch().Vec("g", 16)
+	if len(v) != 16 {
+		t.Fatalf("len %d", len(v))
+	}
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	w := env.Scratch().Vec("g", 16)
+	if &w[0] != &v[0] {
+		t.Fatal("same key+size must reuse the buffer")
+	}
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("scratch vec not zeroed at %d: %v", i, x)
+		}
+	}
+	// size change reallocates; different key is independent
+	u := env.Scratch().Vec("g", 8)
+	if len(u) != 8 {
+		t.Fatalf("len %d", len(u))
+	}
+	other := env.Scratch().Vec("h", 16)
+	if &other[0] == &v[0] {
+		t.Fatal("different keys must not share buffers")
+	}
+}
+
+func TestScratchI32KeepsContents(t *testing.T) {
+	env := NewEnv(0, 1, nil)
+	a := env.Scratch().I32("lookup", 4)
+	a[2] = 7
+	b := env.Scratch().I32("lookup", 4)
+	if &b[0] != &a[0] || b[2] != 7 {
+		t.Fatal("I32 must reuse the buffer without clearing")
+	}
+}
+
+// TestScratchRandMatchesFresh pins the reproducibility contract: the
+// reseeded per-worker RNG draws exactly the stream a freshly constructed
+// rand.New(rand.NewSource(seed)) would, for every reseed.
+func TestScratchRandMatchesFresh(t *testing.T) {
+	env := NewEnv(0, 1, nil)
+	for _, seed := range []int64{1, 42, -7, 1 << 40} {
+		got := env.Scratch().Rand(seed)
+		want := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if g, w := got.Float64(), want.Float64(); g != w {
+				t.Fatalf("seed %d draw %d: %v != %v", seed, i, g, w)
+			}
+		}
+	}
+}
+
+func TestScratchAllocFree(t *testing.T) {
+	env := NewEnv(0, 1, nil)
+	env.Scratch().Vec("g", 64)
+	env.Scratch().Rand(1)
+	if allocs := testing.AllocsPerRun(100, func() {
+		v := env.Scratch().Vec("g", 64)
+		v[0] = 1
+		_ = env.Scratch().Rand(7).Float64()
+	}); allocs != 0 {
+		t.Errorf("steady-state scratch access allocates %v per run, want 0", allocs)
+	}
+}

@@ -105,6 +105,42 @@ func (b DynBroadcast) Record(env *cluster.Env, index int) {
 	h.mu.Unlock()
 }
 
+// BroadcastHistory is a resolved handle onto the worker's history table for
+// one broadcast id. Per-sample loops hoist the handle once per task (the
+// lookup concatenates a store key, which would otherwise allocate on every
+// sample) and then use it allocation-free.
+type BroadcastHistory struct {
+	b DynBroadcast
+	h *historyTable
+}
+
+// History resolves the worker's history-table handle for this broadcast.
+func (b DynBroadcast) History(env *cluster.Env) BroadcastHistory {
+	return BroadcastHistory{b: b, h: getHistory(env, b.ID)}
+}
+
+// TryValueAt is DynBroadcast.TryValueAt through the resolved handle.
+func (bh BroadcastHistory) TryValueAt(env *cluster.Env, index int) (any, bool, error) {
+	bh.h.mu.Lock()
+	ver, ok := bh.h.vers[index]
+	bh.h.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := env.BroadcastValue(bh.b.ID, ver)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Record is DynBroadcast.Record through the resolved handle.
+func (bh BroadcastHistory) Record(index int) {
+	bh.h.mu.Lock()
+	bh.h.vers[index] = bh.b.Version
+	bh.h.mu.Unlock()
+}
+
 // RecordedVersion reports the version recorded for a sample (testing and
 // diagnostics).
 func (b DynBroadcast) RecordedVersion(env *cluster.Env, index int) (int64, bool) {

@@ -27,9 +27,16 @@ func ConjGrad(mul MulFunc, b, w Vec, tol float64, maxIter int) (CGResult, error)
 	if tol <= 0 {
 		return CGResult{}, errors.New("la: ConjGrad tol must be positive")
 	}
-	r := NewVec(n)  // residual b - A w
-	p := NewVec(n)  // search direction
-	ap := NewVec(n) // A p scratch
+	// Pooled scratch: ADMM runs one CG solve per partition per task, so the
+	// solver itself must not allocate in steady state.
+	r := GetVec(n)  // residual b - A w
+	p := GetVec(n)  // search direction
+	ap := GetVec(n) // A p scratch
+	defer func() {
+		PutVec(r)
+		PutVec(p)
+		PutVec(ap)
+	}()
 	mul(w, ap)
 	SubInto(r, b, ap)
 	p.CopyFrom(r)
@@ -47,12 +54,9 @@ func ConjGrad(mul MulFunc, b, w Vec, tol float64, maxIter int) (CGResult, error)
 		}
 		alpha := rs / pap
 		Axpy(alpha, p, w)
-		Axpy(-alpha, ap, r)
-		rsNew := Dot(r, r)
+		rsNew := DotAxpy(-alpha, ap, r) // fused r -= alpha·Ap; rs = r·r
 		beta := rsNew / rs
-		for i := range p {
-			p[i] = r[i] + beta*p[i]
-		}
+		ScaleAddInto(p, 1, r, beta, p)
 		rs = rsNew
 	}
 	res.Residual = Norm2(r)

@@ -52,6 +52,14 @@ func (m *CSR) Row(i int) SparseVec {
 	return SparseVec{Idx: m.ColIdx[lo:hi], Val: m.Val[lo:hi], N: m.NumCols}
 }
 
+// RowNZ returns the raw index/value slices of row i without materialising a
+// SparseVec view — the zero-overhead row access the gradient inner loops
+// pair with SparseDot and GradAccum.
+func (m *CSR) RowNZ(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
 // MatVec computes y = A x for dense x, y. y must have length NumRows.
 func (m *CSR) MatVec(x, y Vec) {
 	if len(x) != m.NumCols || len(y) != m.NumRows {

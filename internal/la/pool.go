@@ -1,0 +1,54 @@
+package la
+
+import "sync"
+
+// Vector pool: task kernels accumulate gradients into pooled vectors whose
+// ownership transfers to the driver with the task result; the driver returns
+// them with PutVec once the update is applied. In steady state every task of
+// a run reuses storage from earlier tasks of the same dimension, so the
+// per-task compute path allocates nothing (see the allocation assertions in
+// internal/opt). The pool is per-process, and only the driver recycles: over
+// the in-process transport the driver's PutVec feeds the very pool kernels
+// Get from, closing the loop. Over the TCP transport the driver recycles its
+// decoded copies, but remote workers cannot safely Put after Send (the
+// endpoint may still be encoding the payload), so they allocate one fresh
+// accumulator per task.
+
+const maxPooledPerSize = 64
+
+var vecPool = struct {
+	mu   sync.Mutex
+	free map[int][]Vec
+}{free: map[int][]Vec{}}
+
+// GetVec returns a zeroed dense vector of length n, reusing pooled storage
+// when a vector of that exact length has been returned with PutVec.
+func GetVec(n int) Vec {
+	vecPool.mu.Lock()
+	l := vecPool.free[n]
+	if len(l) > 0 {
+		v := l[len(l)-1]
+		vecPool.free[n] = l[:len(l)-1]
+		vecPool.mu.Unlock()
+		v.Zero()
+		return v
+	}
+	vecPool.mu.Unlock()
+	return NewVec(n)
+}
+
+// PutVec returns v to the pool. The caller must not retain any reference to
+// v afterwards; a later GetVec of the same length may hand it to another
+// task. Putting nil is a no-op. The pool keeps at most maxPooledPerSize
+// vectors per length; extras are dropped for the GC.
+func PutVec(v Vec) {
+	if v == nil {
+		return
+	}
+	n := len(v)
+	vecPool.mu.Lock()
+	if len(vecPool.free[n]) < maxPooledPerSize {
+		vecPool.free[n] = append(vecPool.free[n], v)
+	}
+	vecPool.mu.Unlock()
+}

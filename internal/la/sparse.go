@@ -43,25 +43,21 @@ func (s SparseVec) Dense() Vec {
 }
 
 // DotDense returns the inner product of the sparse vector with a dense one.
+// It delegates to the unrolled SparseDot kernel.
 func (s SparseVec) DotDense(d Vec) float64 {
 	if s.N != len(d) {
 		panic(fmt.Sprintf("la: sparse DotDense dim mismatch %d != %d", s.N, len(d)))
 	}
-	var acc float64
-	for k, j := range s.Idx {
-		acc += s.Val[k] * d[j]
-	}
-	return acc
+	return SparseDot(s.Idx, s.Val, d)
 }
 
-// AxpyDense computes y += alpha * s for dense y.
+// AxpyDense computes y += alpha * s for dense y. It delegates to the
+// unrolled GradAccum kernel.
 func (s SparseVec) AxpyDense(alpha float64, y Vec) {
 	if s.N != len(y) {
 		panic(fmt.Sprintf("la: sparse AxpyDense dim mismatch %d != %d", s.N, len(y)))
 	}
-	for k, j := range s.Idx {
-		y[j] += alpha * s.Val[k]
-	}
+	GradAccum(alpha, s.Idx, s.Val, y)
 }
 
 // Norm2Sq returns the squared Euclidean norm of s.

@@ -7,6 +7,16 @@
 // paper uses; the kernels are deliberately allocation-free on the hot paths
 // so that per-task compute time in the simulated cluster is dominated by
 // arithmetic, as it is on a real worker.
+//
+// Zero-allocation invariant: every kernel on the gradient hot path — Dot,
+// Axpy, the fused DotAxpy/ScaleAddInto, SparseDot, GradAccum, the
+// CSR.Row/RowNZ views, MatVec, and steady-state ConjGrad — performs zero
+// heap allocations (asserted by TestKernelsAllocFree with
+// testing.AllocsPerRun). Vectors that must outlive a call come from the
+// GetVec/PutVec pool, which recycles storage across tasks; everything else
+// is caller-provided or O(1). Treat this as API: a change that makes any
+// of these allocate is a regression, and the CI bench job will surface it
+// as ns/gradient and allocs/op movement in BENCH_*.json.
 package la
 
 import (
@@ -42,25 +52,39 @@ func (v Vec) CopyFrom(src Vec) {
 	copy(v, src)
 }
 
-// Dot returns the inner product of two dense vectors.
+// Dot returns the inner product of two dense vectors (4-way unrolled).
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("la: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i < len(a)-3; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place (4-way unrolled).
 func Axpy(alpha float64, x, y Vec) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("la: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
-	for i, xi := range x {
-		y[i] += alpha * xi
+	i := 0
+	for ; i < len(x)-3; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

@@ -63,9 +63,13 @@ func (p *ADMMParams) defaults() error {
 	return nil
 }
 
-// admmState is the per-worker ADMM state kept in the Env store.
+// admmState is the per-partition ADMM state kept in the Env store, plus the
+// subproblem scratch (rhs, MatVec temporary) sized once per partition so the
+// steady-state local solve allocates nothing.
 type admmState struct {
 	x, u la.Vec
+	rhs  la.Vec
+	tmp  la.Vec // length NumRows of the partition
 }
 
 // ADMMPartial is a worker's contribution to the consensus update.
@@ -93,27 +97,37 @@ func admmKernel(zBr core.DynBroadcast, rho, cgTol float64, cgIters int) core.Ker
 			return nil, 0, err
 		}
 		cols := len(z)
-		sum := la.NewVec(cols)
+		sum := la.GetVec(cols)
 		var primalSq float64
 		n := 0
+		// all partition states live under one store key so the steady-state
+		// lookup is a map read, not a per-task key allocation
+		states := env.StoreGetOrCreate("opt.admm.states", func() any {
+			return map[int]*admmState{}
+		}).(map[int]*admmState)
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
+				la.PutVec(sum)
 				return nil, 0, err
 			}
-			key := fmt.Sprintf("opt.admm.%d", pi)
-			st := env.StoreGetOrCreate(key, func() any {
-				return &admmState{x: la.NewVec(cols), u: la.NewVec(cols)}
-			}).(*admmState)
+			st, ok := states[pi]
+			if !ok {
+				st = &admmState{
+					x: la.NewVec(cols), u: la.NewVec(cols),
+					rhs: la.NewVec(cols), tmp: la.NewVec(p.X.NumRows),
+				}
+				states[pi] = st
+			}
 
 			// subproblem: (2 A_iᵀA_i + ρI) x = 2 A_iᵀ b_i + ρ (z − u_i)
-			rhs := la.NewVec(cols)
+			rhs := st.rhs
 			p.X.MatTVec(p.Y, rhs)
 			la.Scale(2, rhs)
 			for j := range rhs {
 				rhs[j] += rho * (z[j] - st.u[j])
 			}
-			tmp := la.NewVec(p.X.NumRows)
+			tmp := st.tmp
 			mul := func(x, y la.Vec) {
 				p.X.MatVec(x, tmp)
 				p.X.MatTVec(tmp, y)
@@ -121,6 +135,7 @@ func admmKernel(zBr core.DynBroadcast, rho, cgTol float64, cgIters int) core.Ker
 				la.Axpy(rho, x, y)
 			}
 			if _, err := la.ConjGrad(mul, rhs, st.x, cgTol, cgIters); err != nil {
+				la.PutVec(sum)
 				return nil, 0, fmt.Errorf("opt: ADMM partition %d: %w", pi, err)
 			}
 			// dual ascent against the consensus the worker can see
@@ -133,6 +148,7 @@ func admmKernel(zBr core.DynBroadcast, rho, cgTol float64, cgIters int) core.Ker
 			n++
 		}
 		if n == 0 {
+			la.PutVec(sum)
 			return nil, 0, nil
 		}
 		return ADMMPartial{XPlusU: sum, PrimalSq: primalSq}, n, nil
@@ -184,7 +200,16 @@ func ADMM(ac *core.Context, d *dataset.Dataset, p ADMMParams, fstar float64) (*R
 			if !ok {
 				return nil, fmt.Errorf("opt: ADMM payload %T", tr.Payload)
 			}
-			latest[tr.Attrs.Worker] = contrib{sum: part.XPlusU, n: tr.Attrs.MiniBatch}
+			// copy into the worker's persistent contribution buffer and
+			// recycle the pooled payload (latest outlives the round)
+			c := latest[tr.Attrs.Worker]
+			if len(c.sum) != len(part.XPlusU) {
+				c.sum = la.NewVec(len(part.XPlusU))
+			}
+			c.sum.CopyFrom(part.XPlusU)
+			c.n = tr.Attrs.MiniBatch
+			latest[tr.Attrs.Worker] = c
+			la.PutVec(part.XPlusU)
 			collected++
 		}
 		// z = mean over all known partition contributions

@@ -70,7 +70,10 @@ func init() {
 }
 
 // bcdKernel computes the exact block gradient/curvature over every owned
-// row at the broadcast model.
+// row at the broadcast model. Block membership is resolved through a
+// persistent scratch lookup table (position+1, 0 = not in block) instead of
+// a per-task map; entries are restored to zero before returning so the next
+// task sees a clean table.
 func bcdKernel(wBr core.DynBroadcast, block []int32) core.Kernel {
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
 		wv, err := wBr.Value(env)
@@ -81,34 +84,43 @@ func bcdKernel(wBr core.DynBroadcast, block []int32) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
-		inBlock := make(map[int32]int, len(block))
+		lookup := env.Scratch().I32("opt.bcd.lookup", len(w))
 		for k, j := range block {
-			inBlock[j] = k
+			lookup[j] = int32(k) + 1
 		}
-		g := la.NewVec(len(block))
-		h := la.NewVec(len(block))
+		defer func() {
+			for _, j := range block {
+				lookup[j] = 0
+			}
+		}()
+		g := la.GetVec(len(block))
+		h := la.GetVec(len(block))
 		rows := 0
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
+				la.PutVec(g)
+				la.PutVec(h)
 				return nil, 0, err
 			}
 			for r := 0; r < p.NumRows(); r++ {
-				x := p.X.Row(r)
-				resid := x.DotDense(w) - p.Y[r]
-				for k, j := range x.Idx {
-					bi, ok := inBlock[j]
-					if !ok {
+				idx, val := p.X.RowNZ(r)
+				resid := la.SparseDot(idx, val, w) - p.Y[r]
+				for k, j := range idx {
+					bi := lookup[j]
+					if bi == 0 {
 						continue
 					}
-					v := x.Val[k]
-					g[bi] += 2 * resid * v
-					h[bi] += 2 * v * v
+					v := val[k]
+					g[bi-1] += 2 * resid * v
+					h[bi-1] += 2 * v * v
 				}
 				rows++
 			}
 		}
 		if rows == 0 {
+			la.PutVec(g)
+			la.PutVec(h)
 			return nil, 0, nil
 		}
 		return BCDPartial{Block: block, G: g, H: h}, rows, nil
@@ -154,8 +166,8 @@ func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) 
 		}
 		if sync {
 			// combine every worker's partial into one exact block step
-			g := la.NewVec(len(block))
-			h := la.NewVec(len(block))
+			g := la.GetVec(len(block))
+			h := la.GetVec(len(block))
 			got := 0
 			for i := 0; i < n; i++ {
 				tr, err := ac.ASYNCcollectAll()
@@ -165,12 +177,18 @@ func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) 
 				part := tr.Payload.(BCDPartial)
 				la.Axpy(1, part.G, g)
 				la.Axpy(1, part.H, h)
+				la.PutVec(part.G)
+				la.PutVec(part.H)
 				got++
 			}
+			if got > 0 {
+				applyBlockStep(w, block, g, h, p.Step)
+			}
+			la.PutVec(g)
+			la.PutVec(h)
 			if got == 0 {
 				continue
 			}
-			applyBlockStep(w, block, g, h, p.Step)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, w)
 			continue
@@ -185,6 +203,8 @@ func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) 
 				return nil, fmt.Errorf("opt: BCD payload %T", tr.Payload)
 			}
 			applyBlockStep(w, part.Block, part.G, part.H, p.Step)
+			la.PutVec(part.G)
+			la.PutVec(part.H)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, w)
 		}

@@ -7,8 +7,18 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/la"
 )
+
+// Allocation discipline: the kernels in this file are the per-task compute
+// path of every solver, so they are written to allocate nothing in steady
+// state. Accumulators that travel with the task result come from la.GetVec
+// (the driver returns them with la.PutVec once the update is applied),
+// purely local temporaries come from the worker's Env scratch store, and
+// sampling uses the per-worker RNG reseeded with the task seed. The only
+// unavoidable per-task allocation is boxing the result payload into `any`.
+// alloc_test.go pins the inner loops at zero allocations per run.
 
 // SagaPartial is a worker's locally reduced SAGA contribution: the sum of
 // current-gradient terms, the sum of historical-gradient terms, and the
@@ -32,11 +42,35 @@ func asVec(v any) (la.Vec, error) {
 	return w, nil
 }
 
+// gradSweep is the steady-state mini-batch inner loop shared by the
+// gradient kernels: sample each row of partition p with probability frac
+// and accumulate the per-sample loss gradient at w into g, returning the
+// number of sampled rows. It is allocation-free (asserted by
+// TestGradSweepAllocFree): row views are zero-copy CSR slices and the loss
+// accumulates through the unrolled la kernels.
+func gradSweep(loss Loss, p *dataset.Partition, rng *rand.Rand, frac float64, w, g la.Vec) int {
+	n := 0
+	for local := 0; local < p.NumRows(); local++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		loss.AddGrad(p.X.Row(local), p.Y[local], w, g)
+		n++
+	}
+	return n
+}
+
 // GradKernel builds the mini-batch gradient kernel used by SGD and ASGD:
 // sample each row of the worker's partitions with probability frac, sum the
 // per-sample loss gradients at the broadcast model, and return the
 // (unnormalized) gradient sum. The driver divides by the batch size from
 // the result attributes.
+//
+// Reproducibility contract: sampling draws from the worker's reusable RNG
+// reseeded with the task seed, which yields exactly the stream of
+// rand.New(rand.NewSource(seed)) — the same seed always selects the same
+// sample set regardless of what ran on the worker before (see
+// TestGradKernelSeedReproducibility).
 func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
 		if frac <= 0 || frac > 1 {
@@ -50,23 +84,19 @@ func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
-		g := la.NewVec(len(w))
+		g := la.GetVec(len(w))
+		rng := env.Scratch().Rand(seed)
 		n := 0
-		rng := rand.New(rand.NewSource(seed))
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
+				la.PutVec(g)
 				return nil, 0, err
 			}
-			for local := 0; local < p.NumRows(); local++ {
-				if rng.Float64() >= frac {
-					continue
-				}
-				loss.AddGrad(p.X.Row(local), p.Y[local], w, g)
-				n++
-			}
+			n += gradSweep(loss, p, rng, frac, w, g)
 		}
 		if n == 0 {
+			la.PutVec(g)
 			return nil, 0, nil // empty sample: no result
 		}
 		return g, n, nil
@@ -79,7 +109,8 @@ func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 // current version for the row. Rows never touched contribute zero
 // historical gradient (the standard zero-initialized SAGA table, which is
 // also the only initialization under which Algorithm 3's
-// `averageHistory = 0` start is consistent).
+// `averageHistory = 0` start is consistent). Sampling follows GradKernel's
+// reproducibility contract (per-worker RNG reseeded with the task seed).
 func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
 		if frac <= 0 || frac > 1 {
@@ -93,14 +124,20 @@ func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
-		gCur := la.NewVec(len(w))
-		gHist := la.NewVec(len(w))
+		gCur := la.GetVec(len(w))
+		gHist := la.GetVec(len(w))
+		fail := func(err error) (any, int, error) {
+			la.PutVec(gCur)
+			la.PutVec(gHist)
+			return nil, 0, err
+		}
 		n := 0
-		rng := rand.New(rand.NewSource(seed))
+		rng := env.Scratch().Rand(seed)
+		hist := wBr.History(env) // hoisted: per-sample lookups are alloc-free
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			for local := 0; local < p.NumRows(); local++ {
 				if rng.Float64() >= frac {
@@ -109,23 +146,23 @@ func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 				idx := p.GlobalRow(local)
 				x, y := p.X.Row(local), p.Y[local]
 				loss.AddGrad(x, y, w, gCur)
-				hv, touched, err := wBr.TryValueAt(env, idx)
+				hv, touched, err := hist.TryValueAt(env, idx)
 				if err != nil {
-					return nil, 0, err
+					return fail(err)
 				}
 				if touched {
 					wHist, err := asVec(hv)
 					if err != nil {
-						return nil, 0, err
+						return fail(err)
 					}
 					loss.AddGrad(x, y, wHist, gHist)
 				}
-				wBr.Record(env, idx)
+				hist.Record(idx)
 				n++
 			}
 		}
 		if n == 0 {
-			return nil, 0, nil
+			return fail(nil)
 		}
 		return SagaPartial{Sum: gCur, HistSum: gHist}, n, nil
 	}
@@ -152,13 +189,14 @@ func VRKernel(loss Loss, wBr, anchorBr core.DynBroadcast, frac float64) core.Ker
 		if err != nil {
 			return nil, 0, err
 		}
-		diff := la.NewVec(len(w))
-		tmp := la.NewVec(len(w))
+		diff := la.GetVec(len(w))
+		tmp := env.Scratch().Vec("opt.vr.tmp", len(w))
 		n := 0
-		rng := rand.New(rand.NewSource(seed))
+		rng := env.Scratch().Rand(seed)
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
+				la.PutVec(diff)
 				return nil, 0, err
 			}
 			for local := 0; local < p.NumRows(); local++ {
@@ -174,6 +212,7 @@ func VRKernel(loss Loss, wBr, anchorBr core.DynBroadcast, frac float64) core.Ker
 			}
 		}
 		if n == 0 {
+			la.PutVec(diff)
 			return nil, 0, nil
 		}
 		return diff, n, nil
@@ -193,11 +232,12 @@ func FullGradKernel(loss Loss, wBr core.DynBroadcast) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
-		g := la.NewVec(len(w))
+		g := la.GetVec(len(w))
 		n := 0
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
+				la.PutVec(g)
 				return nil, 0, err
 			}
 			for local := 0; local < p.NumRows(); local++ {
@@ -206,6 +246,7 @@ func FullGradKernel(loss Loss, wBr core.DynBroadcast) core.Kernel {
 			}
 		}
 		if n == 0 {
+			la.PutVec(g)
 			return nil, 0, nil
 		}
 		return g, n, nil

@@ -127,6 +127,8 @@ func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) 
 			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
 				return nil, err
 			}
+			la.PutVec(part.Sum)
+			la.PutVec(part.HistSum)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, st.w)
 		}
@@ -194,6 +196,7 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
 			la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), g, w)
+			la.PutVec(g)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, w)
 		}

@@ -15,7 +15,6 @@ type sagaState struct {
 	w       la.Vec
 	avgHist la.Vec // running average of historical gradients
 	n       float64
-	scratch la.Vec
 }
 
 func newSagaState(cols, rows int) *sagaState {
@@ -23,7 +22,6 @@ func newSagaState(cols, rows int) *sagaState {
 		w:       la.NewVec(cols),
 		avgHist: la.NewVec(cols),
 		n:       float64(rows),
-		scratch: la.NewVec(cols),
 	}
 }
 
@@ -54,12 +52,19 @@ func (s *sagaState) apply(alpha float64, part SagaPartial, batch int) error {
 	if batch <= 0 {
 		return fmt.Errorf("opt: SAGA partial with batch %d", batch)
 	}
-	la.SubInto(s.scratch, part.Sum, part.HistSum) // ΣgCur − ΣgHist
-	// update step
-	la.Axpy(-alpha/float64(batch), s.scratch, s.w)
-	la.Axpy(-alpha, s.avgHist, s.w)
-	// history average update
-	la.Axpy(1/s.n, s.scratch, s.avgHist)
+	if len(part.Sum) != len(s.w) || len(part.HistSum) != len(s.w) {
+		return fmt.Errorf("opt: SAGA partial dims (%d,%d) != %d", len(part.Sum), len(part.HistSum), len(s.w))
+	}
+	// One fused pass instead of four BLAS-1 sweeps: d = ΣgCur − ΣgHist,
+	// w −= α·(d/b + avgHist), avgHist += d/n (Algorithm 4 lines 8–9).
+	ab := alpha / float64(batch)
+	invN := 1 / s.n
+	w, avg := s.w, s.avgHist
+	for j := range w {
+		d := part.Sum[j] - part.HistSum[j]
+		w[j] -= ab*d + alpha*avg[j]
+		avg[j] += d * invN
+	}
 	return nil
 }
 
@@ -87,7 +92,7 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		combined := SagaPartial{Sum: la.NewVec(d.NumCols()), HistSum: la.NewVec(d.NumCols())}
+		combined := SagaPartial{Sum: la.GetVec(d.NumCols()), HistSum: la.GetVec(d.NumCols())}
 		total := 0
 		for i := 0; i < n; i++ {
 			tr, err := ac.ASYNCcollectAll()
@@ -100,12 +105,19 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 			}
 			la.Axpy(1, part.Sum, combined.Sum)
 			la.Axpy(1, part.HistSum, combined.HistSum)
+			la.PutVec(part.Sum)
+			la.PutVec(part.HistSum)
 			total += tr.Attrs.MiniBatch
 		}
 		if total == 0 {
+			la.PutVec(combined.Sum)
+			la.PutVec(combined.HistSum)
 			continue
 		}
-		if err := st.apply(p.Step.Alpha(k), combined, total); err != nil {
+		err = st.apply(p.Step.Alpha(k), combined, total)
+		la.PutVec(combined.Sum)
+		la.PutVec(combined.HistSum)
+		if err != nil {
 			return nil, err
 		}
 		upd := ac.AdvanceClock()
@@ -156,6 +168,8 @@ func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resu
 			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
 				return nil, err
 			}
+			la.PutVec(part.Sum)
+			la.PutVec(part.HistSum)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, st.w)
 		}

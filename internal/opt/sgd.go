@@ -77,8 +77,7 @@ func (s *stepper) apply(w, g la.Vec, alpha float64) {
 		la.Axpy(-alpha, g, w)
 		return
 	}
-	la.Scale(s.mu, s.vel)
-	la.Axpy(-alpha, g, s.vel)
+	la.ScaleAddInto(s.vel, s.mu, s.vel, -alpha, g) // fused vel = μ·vel − α·g
 	la.Axpy(1, s.vel, w)
 }
 
@@ -185,6 +184,7 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 				return nil, fmt.Errorf("opt: SyncSGD payload %T", tr.Payload)
 			}
 			la.Axpy(1, g, gSum)
+			la.PutVec(g) // recycle the pooled task accumulator
 			total += tr.Attrs.MiniBatch
 		}
 		if total == 0 {
@@ -245,6 +245,7 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
 			st.apply(w, g, alpha/float64(tr.Attrs.MiniBatch))
+			la.PutVec(g)
 			updates = ac.AdvanceClock()
 			rec.Maybe(updates, w)
 		}

@@ -55,7 +55,9 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 			if err != nil {
 				break
 			}
-			la.Axpy(1, tr.Payload.(la.Vec), mu)
+			g := tr.Payload.(la.Vec)
+			la.Axpy(1, g, mu)
+			la.PutVec(g)
 			total += tr.Attrs.MiniBatch
 		}
 		if total == 0 {
@@ -88,6 +90,7 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 				}
 				la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), diff, w)
 				la.Axpy(-alpha, mu, w)
+				la.PutVec(diff)
 				updates = ac.AdvanceClock()
 				rec.Maybe(updates, w)
 			}
