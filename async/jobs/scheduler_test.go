@@ -520,3 +520,30 @@ func TestClosedScheduler(t *testing.T) {
 		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
 	}
 }
+
+// TestSparseWideJobByName runs the sparse-delta data path end to end
+// through the serving layer: the high-dimensional sparse-wide catalog
+// dataset is resolved by name, its tasks take the O(nnz) kernel path, and
+// the driver applies sparse deltas — all behind the ordinary jobs API.
+func TestSparseWideJobByName(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	id, err := s.Submit(jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "sparse-wide"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.001},
+		// small enough that tasks pass the sparse work gate at tiny scale
+		// (0.1 · 2400 partition nnz · 32 ≤ 20000 dims)
+		SampleFrac: 0.1,
+		Updates:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitState(t, s, id, jobs.StateDone)
+	if job.Updates < 30 {
+		t.Fatalf("job finished at %d updates, want >= 30", job.Updates)
+	}
+	if job.Err != "" {
+		t.Fatalf("job error: %s", job.Err)
+	}
+}

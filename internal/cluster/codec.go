@@ -1,0 +1,653 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/la"
+)
+
+// Compact binary wire codec. Every TCP connection carries length-prefixed
+// frames:
+//
+//	[4-byte big-endian frame length L][1-byte format][L-1 bytes body]
+//
+// format 0 (frameGob):    body is a self-contained gob stream of one Message
+// format 1 (frameBinary): body is the compact binary encoding below
+//
+// The binary format encodes the hot protocol messages — RunTask,
+// TaskResult, Fetch/FetchReply, BroadcastPush — with varint integers,
+// raw little-endian float64 payloads, and varint-delta coordinate indices,
+// cutting per-task message size and encode allocations versus gob (which
+// re-transmits type descriptors and boxes every field through reflection).
+// Messages the binary format does not cover (partition installs) and
+// payload types nobody registered fall back to a gob frame transparently;
+// both sides always accept both formats.
+//
+// Negotiation rides the Hello handshake: the framed endpoint stamps
+// BinCodecName into Hello.Codecs on the way out, and a receiver that
+// understands it answers with a HelloAck — from then on each side sends
+// binary for whatever it can encode. Endpoints that never see the
+// advertisement simply keep exchanging gob frames.
+const (
+	frameGob    byte = 0
+	frameBinary byte = 1
+
+	// maxFrame bounds a frame so a corrupted or hostile length prefix
+	// cannot trigger an unbounded allocation.
+	maxFrame = 1 << 30
+
+	// BinCodecName identifies this codec revision in Hello.Codecs.
+	BinCodecName = "bin/1"
+)
+
+// Builtin payload codes. Codes ≥ payloadRegistered are claimed through
+// RegisterPayloadCodec.
+const (
+	payloadNil     byte = 0
+	payloadVec     byte = 1
+	payloadDelta   byte = 2
+	payloadFloat64 byte = 3
+	payloadInt64   byte = 4
+	payloadString  byte = 5
+	payloadBool    byte = 6
+	payloadIntSlc  byte = 7
+
+	payloadRegistered byte = 16
+)
+
+// errNoBinary marks a message (or payload) the binary format cannot carry;
+// the sender falls back to a gob frame.
+var errNoBinary = errors.New("cluster: message has no binary encoding")
+
+// payloadCodec is one registered payload type.
+type payloadCodec struct {
+	code byte
+	enc  func(*BinWriter, any) error
+	dec  func(*BinReader) (any, error)
+}
+
+var payloadRegistry = struct {
+	mu     sync.RWMutex
+	byType map[reflect.Type]*payloadCodec
+	byCode map[byte]*payloadCodec
+}{byType: map[reflect.Type]*payloadCodec{}, byCode: map[byte]*payloadCodec{}}
+
+// RegisterPayloadCodec teaches the binary codec a payload type: prototype's
+// concrete type is encoded by enc under the given code and decoded by dec.
+// Codes below 16 are reserved for builtins; registering a taken code or
+// type panics (registration is an init-time act, like gob.Register).
+func RegisterPayloadCodec(code byte, prototype any, enc func(*BinWriter, any) error, dec func(*BinReader) (any, error)) {
+	if code < payloadRegistered {
+		panic(fmt.Sprintf("cluster: payload code %d is reserved", code))
+	}
+	t := reflect.TypeOf(prototype)
+	payloadRegistry.mu.Lock()
+	defer payloadRegistry.mu.Unlock()
+	if _, dup := payloadRegistry.byCode[code]; dup {
+		panic(fmt.Sprintf("cluster: payload code %d registered twice", code))
+	}
+	if _, dup := payloadRegistry.byType[t]; dup {
+		panic(fmt.Sprintf("cluster: payload type %v registered twice", t))
+	}
+	c := &payloadCodec{code: code, enc: enc, dec: dec}
+	payloadRegistry.byCode[code] = c
+	payloadRegistry.byType[t] = c
+}
+
+// BinWriter builds the body of a binary frame. The zero value is ready to
+// use; Reset reuses the buffer across messages so steady-state encoding
+// performs no allocations once the buffer has grown to the working size.
+type BinWriter struct{ buf []byte }
+
+// Reset truncates the buffer, keeping its capacity.
+func (w *BinWriter) Reset() { w.buf = w.buf[:0] }
+
+// Bytes returns the accumulated encoding (valid until the next Reset).
+func (w *BinWriter) Bytes() []byte { return w.buf }
+
+// PutByte appends a raw byte.
+func (w *BinWriter) PutByte(b byte) { w.buf = append(w.buf, b) }
+
+// PutUvarint appends an unsigned varint.
+func (w *BinWriter) PutUvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// PutVarint appends a zig-zag signed varint.
+func (w *BinWriter) PutVarint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// PutString appends a length-prefixed string.
+func (w *BinWriter) PutString(s string) {
+	w.PutUvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// PutFloat64 appends one little-endian float64.
+func (w *BinWriter) PutFloat64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// PutFloat64s appends a run of little-endian float64s (no length prefix).
+func (w *BinWriter) PutFloat64s(fs []float64) {
+	for _, f := range fs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+	}
+}
+
+// PutIndexDeltas appends strictly increasing coordinate indices as a first
+// absolute value plus uvarint gaps — the compact index encoding of sparse
+// payloads.
+func (w *BinWriter) PutIndexDeltas(idx []int32) {
+	prev := int32(0)
+	for i, j := range idx {
+		if i == 0 {
+			w.PutUvarint(uint64(j))
+		} else {
+			w.PutUvarint(uint64(j - prev))
+		}
+		prev = j
+	}
+}
+
+// PutValue appends a payload value: builtins directly, registered types via
+// their codec. It returns errNoBinary (wrapped) for anything else, which
+// makes the enclosing message fall back to gob.
+func (w *BinWriter) PutValue(v any) error {
+	switch x := v.(type) {
+	case nil:
+		w.PutByte(payloadNil)
+	case la.Vec:
+		w.PutByte(payloadVec)
+		w.PutUvarint(uint64(len(x)))
+		w.PutFloat64s(x)
+	case *la.DeltaVec:
+		w.PutByte(payloadDelta)
+		w.PutUvarint(uint64(x.N))
+		w.PutUvarint(uint64(len(x.Idx)))
+		w.PutIndexDeltas(x.Idx)
+		w.PutFloat64s(x.Val)
+	case float64:
+		w.PutByte(payloadFloat64)
+		w.PutFloat64(x)
+	case int64:
+		w.PutByte(payloadInt64)
+		w.PutVarint(x)
+	case int:
+		w.PutByte(payloadInt64)
+		w.PutVarint(int64(x))
+	case string:
+		w.PutByte(payloadString)
+		w.PutString(x)
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		w.PutByte(payloadBool)
+		w.PutByte(b)
+	case []int:
+		w.PutByte(payloadIntSlc)
+		w.PutUvarint(uint64(len(x)))
+		for _, e := range x {
+			w.PutVarint(int64(e))
+		}
+	default:
+		payloadRegistry.mu.RLock()
+		c := payloadRegistry.byType[reflect.TypeOf(v)]
+		payloadRegistry.mu.RUnlock()
+		if c == nil {
+			return fmt.Errorf("%w: payload %T", errNoBinary, v)
+		}
+		w.PutByte(c.code)
+		return c.enc(w, v)
+	}
+	return nil
+}
+
+// BinReader decodes the body of a binary frame. Errors are sticky: after
+// the first malformed field every subsequent read returns zero values, and
+// Err reports the failure. All lengths are validated against the remaining
+// input before any allocation, so a corrupt (or fuzzed) frame cannot
+// trigger an outsized allocation.
+type BinReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewBinReader wraps a binary frame body.
+func NewBinReader(b []byte) *BinReader { return &BinReader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *BinReader) Err() error { return r.err }
+
+func (r *BinReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: bad frame: "+format, args...)
+	}
+}
+
+// Byte reads one raw byte.
+func (r *BinReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *BinReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (r *BinReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Length reads a uvarint and validates it as a count of elements each at
+// least elemSize bytes wide against the remaining input.
+func (r *BinReader) Length(elemSize int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if v > uint64((len(r.buf)-r.off)/elemSize) {
+		r.fail("length %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+// String reads a length-prefixed string.
+func (r *BinReader) String() string {
+	n := r.Length(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Float64 reads one little-endian float64.
+func (r *BinReader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Float64s fills dst with little-endian float64s.
+func (r *BinReader) Float64s(dst []float64) {
+	if r.err != nil {
+		return
+	}
+	if r.off+8*len(dst) > len(r.buf) {
+		r.fail("truncated float64 run of %d", len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+	}
+}
+
+// IndexDeltas reconstructs nnz strictly increasing indices below n from the
+// delta encoding.
+func (r *BinReader) IndexDeltas(dst []int32, n int) {
+	cur := int64(-1)
+	for i := range dst {
+		gap := r.Uvarint()
+		if r.err != nil {
+			return
+		}
+		if i == 0 {
+			cur = int64(gap)
+		} else {
+			if gap == 0 {
+				r.fail("non-increasing sparse index")
+				return
+			}
+			cur += int64(gap)
+		}
+		if cur >= int64(n) {
+			r.fail("sparse index %d out of range [0,%d)", cur, n)
+			return
+		}
+		dst[i] = int32(cur)
+	}
+}
+
+// Value decodes a payload written by PutValue. Dense vectors come from the
+// la pool (the driver recycles them after applying the update), sparse
+// deltas from the delta pool.
+func (r *BinReader) Value() (any, error) {
+	code := r.Byte()
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch code {
+	case payloadNil:
+		return nil, nil
+	case payloadVec:
+		n := r.Length(8)
+		if r.err != nil {
+			return nil, r.err
+		}
+		v := la.GetVec(n)
+		r.Float64s(v)
+		if r.err != nil {
+			la.PutVec(v)
+			return nil, r.err
+		}
+		return v, nil
+	case payloadDelta:
+		dim := int(r.Uvarint())
+		nnz := r.Length(9) // ≥1 byte of index gap + 8 bytes of value each
+		if r.err != nil {
+			return nil, r.err
+		}
+		d := la.GetDelta(nnz, dim)
+		r.IndexDeltas(d.Idx, dim)
+		r.Float64s(d.Val)
+		if r.err != nil {
+			la.PutDelta(d)
+			return nil, r.err
+		}
+		return d, nil
+	case payloadFloat64:
+		return r.Float64(), r.err
+	case payloadInt64:
+		return r.Varint(), r.err
+	case payloadString:
+		return r.String(), r.err
+	case payloadBool:
+		return r.Byte() == 1, r.err
+	case payloadIntSlc:
+		n := r.Length(1)
+		if r.err != nil {
+			return nil, r.err
+		}
+		s := make([]int, n)
+		for i := range s {
+			s[i] = int(r.Varint())
+		}
+		return s, r.err
+	default:
+		payloadRegistry.mu.RLock()
+		c := payloadRegistry.byCode[code]
+		payloadRegistry.mu.RUnlock()
+		if c == nil {
+			r.fail("unknown payload code %d", code)
+			return nil, r.err
+		}
+		return c.dec(r)
+	}
+}
+
+// encodeBinMessage renders m into w in the binary format, or returns
+// errNoBinary (possibly wrapped) when m cannot be carried.
+func encodeBinMessage(w *BinWriter, m *Message) error {
+	w.PutByte(byte(m.Kind))
+	w.PutVarint(m.Seq)
+	switch m.Kind {
+	case KindHello:
+		if m.Hello == nil {
+			return errNoBinary
+		}
+		w.PutVarint(int64(m.Hello.Worker))
+		w.PutUvarint(uint64(len(m.Hello.Codecs)))
+		for _, c := range m.Hello.Codecs {
+			w.PutString(c)
+		}
+	case KindHelloAck:
+		if m.HelloAck == nil {
+			return errNoBinary
+		}
+		w.PutString(m.HelloAck.Codec)
+	case KindRunTask:
+		t := m.Task
+		if t == nil || t.Func() != nil {
+			return errNoBinary // in-process task funcs never cross a wire
+		}
+		w.PutVarint(t.ID)
+		w.PutString(t.Op)
+		w.PutVarint(int64(t.Partition))
+		w.PutVarint(t.Seed)
+		w.PutVarint(t.Dispatch)
+		return w.PutValue(t.Args)
+	case KindTaskResult:
+		r := m.Result
+		if r == nil {
+			return errNoBinary
+		}
+		w.PutVarint(r.TaskID)
+		w.PutVarint(int64(r.Worker))
+		w.PutString(r.Op)
+		w.PutVarint(r.Dispatch)
+		w.PutString(r.Err)
+		w.PutVarint(int64(r.ComputeTime))
+		w.PutVarint(int64(r.WaitTime))
+		return w.PutValue(r.Payload)
+	case KindFetch:
+		f := m.Fetch
+		if f == nil {
+			return errNoBinary
+		}
+		w.PutVarint(int64(f.Worker))
+		w.PutString(f.ID)
+		w.PutVarint(f.Version)
+	case KindFetchReply:
+		f := m.FetchReply
+		if f == nil {
+			return errNoBinary
+		}
+		w.PutString(f.ID)
+		w.PutVarint(f.Version)
+		w.PutString(f.Err)
+		return w.PutValue(f.Value)
+	case KindBroadcastPush:
+		p := m.Push
+		if p == nil {
+			return errNoBinary
+		}
+		w.PutString(p.ID)
+		w.PutVarint(p.Version)
+		return w.PutValue(p.Value)
+	case KindAck:
+		if m.Ack == nil {
+			return errNoBinary
+		}
+		w.PutVarint(m.Ack.Seq)
+		w.PutString(m.Ack.Err)
+	case KindShutdown:
+		// kind and seq say it all
+	default:
+		return errNoBinary // partition installs and future kinds ride gob
+	}
+	return nil
+}
+
+// decodeBinMessage parses a binary frame body.
+func decodeBinMessage(body []byte) (Message, error) {
+	r := NewBinReader(body)
+	m := Message{Kind: Kind(r.Byte()), Seq: r.Varint()}
+	switch m.Kind {
+	case KindHello:
+		h := &Hello{Worker: int(r.Varint())}
+		n := r.Length(1)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			h.Codecs = append(h.Codecs, r.String())
+		}
+		m.Hello = h
+	case KindHelloAck:
+		m.HelloAck = &HelloAck{Codec: r.String()}
+	case KindRunTask:
+		t := &Task{
+			ID:        r.Varint(),
+			Op:        r.String(),
+			Partition: int(r.Varint()),
+			Seed:      r.Varint(),
+			Dispatch:  r.Varint(),
+		}
+		v, err := r.Value()
+		if err != nil {
+			return Message{}, err
+		}
+		t.Args = v
+		m.Task = t
+	case KindTaskResult:
+		res := &Result{
+			TaskID:      r.Varint(),
+			Worker:      int(r.Varint()),
+			Op:          r.String(),
+			Dispatch:    r.Varint(),
+			Err:         r.String(),
+			ComputeTime: time.Duration(r.Varint()),
+			WaitTime:    time.Duration(r.Varint()),
+		}
+		v, err := r.Value()
+		if err != nil {
+			return Message{}, err
+		}
+		res.Payload = v
+		m.Result = res
+	case KindFetch:
+		m.Fetch = &FetchReq{Worker: int(r.Varint()), ID: r.String(), Version: r.Varint()}
+	case KindFetchReply:
+		f := &FetchReply{ID: r.String(), Version: r.Varint(), Err: r.String()}
+		v, err := r.Value()
+		if err != nil {
+			return Message{}, err
+		}
+		f.Value = v
+		m.FetchReply = f
+	case KindBroadcastPush:
+		p := &BroadcastPush{ID: r.String(), Version: r.Varint()}
+		v, err := r.Value()
+		if err != nil {
+			return Message{}, err
+		}
+		p.Value = v
+		m.Push = p
+	case KindAck:
+		m.Ack = &Ack{Seq: r.Varint(), Err: r.String()}
+	case KindShutdown:
+	default:
+		r.fail("kind %d has no binary decoding", m.Kind)
+	}
+	if err := r.Err(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// EncodeFrame renders one message as a complete wire frame. When binary is
+// requested the compact codec is attempted first, falling back to gob for
+// messages it cannot carry; usedBinary reports which format was written.
+// The endpoint's Send path and the bench suite's bytes/task accounting both
+// go through this function.
+func EncodeFrame(m Message, useBinary bool) (frame []byte, usedBinary bool, err error) {
+	var w BinWriter
+	body, usedBinary, err := appendFrameBody(&w, nil, &m, useBinary)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, usedBinary, nil
+}
+
+// appendFrameBody writes [len][format][body] for m into dst, using bw as
+// the scratch encoder for binary bodies.
+func appendFrameBody(bw *BinWriter, dst []byte, m *Message, useBinary bool) ([]byte, bool, error) {
+	if useBinary {
+		bw.Reset()
+		if err := encodeBinMessage(bw, m); err == nil {
+			body := bw.Bytes()
+			dst = binary4(dst, uint32(len(body)+1))
+			dst = append(dst, frameBinary)
+			return append(dst, body...), true, nil
+		} else if !errors.Is(err, errNoBinary) {
+			return nil, false, err
+		}
+	}
+	var gb bytes.Buffer
+	if err := gob.NewEncoder(&gb).Encode(m); err != nil {
+		return nil, false, fmt.Errorf("cluster: gob encode: %w", err)
+	}
+	dst = binary4(dst, uint32(gb.Len()+1))
+	dst = append(dst, frameGob)
+	return append(dst, gb.Bytes()...), false, nil
+}
+
+func binary4(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// DecodeFrame parses one complete wire frame (length prefix included) back
+// into a Message — the inverse of EncodeFrame, shared by tests and the
+// decode fuzz target.
+func DecodeFrame(frame []byte) (Message, error) {
+	if len(frame) < 5 {
+		return Message{}, errors.New("cluster: short frame")
+	}
+	l := uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])
+	if l < 1 || l > maxFrame || int(l) != len(frame)-4 {
+		return Message{}, fmt.Errorf("cluster: bad frame length %d for %d bytes", l, len(frame)-4)
+	}
+	return decodeFrameBody(frame[4], frame[5:])
+}
+
+func decodeFrameBody(format byte, body []byte) (Message, error) {
+	switch format {
+	case frameGob:
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+			return Message{}, fmt.Errorf("cluster: gob decode: %w", err)
+		}
+		return m, nil
+	case frameBinary:
+		return decodeBinMessage(body)
+	default:
+		return Message{}, fmt.Errorf("cluster: unknown frame format %d", format)
+	}
+}

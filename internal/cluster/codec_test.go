@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/la"
+)
+
+// payloadEqual compares decoded payloads semantically: dense and sparse
+// vectors by value (nil and empty are the same), everything else by
+// DeepEqual. Gob and the binary codec legitimately differ on nil-vs-empty
+// slices, which is invisible to every consumer.
+func payloadEqual(a, b any) bool {
+	switch x := a.(type) {
+	case la.Vec:
+		y, ok := b.(la.Vec)
+		return ok && la.Equal(x, y, 0)
+	case *la.DeltaVec:
+		y, ok := b.(*la.DeltaVec)
+		if !ok || x.N != y.N || len(x.Idx) != len(y.Idx) {
+			return false
+		}
+		for k := range x.Idx {
+			if x.Idx[k] != y.Idx[k] || x.Val[k] != y.Val[k] {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+// roundTrip encodes m in both formats, decodes both frames, and checks the
+// two decodings agree with the original. It returns the frame sizes.
+func roundTrip(t *testing.T, m Message) (binBytes, gobBytes int) {
+	t.Helper()
+	RegisterGobTypes()
+	binFrame, usedBin, err := EncodeFrame(m, true)
+	if err != nil {
+		t.Fatalf("binary encode: %v", err)
+	}
+	if !usedBin {
+		t.Fatalf("kind %v fell back to gob unexpectedly", m.Kind)
+	}
+	gobFrame, _, err := EncodeFrame(m, false)
+	if err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	check := func(name string, frame []byte) {
+		back, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		if back.Kind != m.Kind || back.Seq != m.Seq {
+			t.Fatalf("%s decode: kind/seq (%v,%d) != (%v,%d)", name, back.Kind, back.Seq, m.Kind, m.Seq)
+		}
+		switch m.Kind {
+		case KindTaskResult:
+			r, o := back.Result, m.Result
+			if r.TaskID != o.TaskID || r.Worker != o.Worker || r.Op != o.Op ||
+				r.Dispatch != o.Dispatch || r.Err != o.Err ||
+				r.ComputeTime != o.ComputeTime || r.WaitTime != o.WaitTime {
+				t.Fatalf("%s decode: result fields differ: %+v vs %+v", name, r, o)
+			}
+			if !payloadEqual(o.Payload, r.Payload) {
+				t.Fatalf("%s decode: payload differs", name)
+			}
+		case KindRunTask:
+			tk, o := back.Task, m.Task
+			if tk.ID != o.ID || tk.Op != o.Op || tk.Partition != o.Partition ||
+				tk.Seed != o.Seed || tk.Dispatch != o.Dispatch || !payloadEqual(o.Args, tk.Args) {
+				t.Fatalf("%s decode: task differs: %+v vs %+v", name, tk, o)
+			}
+		case KindFetchReply:
+			if back.FetchReply.ID != m.FetchReply.ID || back.FetchReply.Version != m.FetchReply.Version ||
+				back.FetchReply.Err != m.FetchReply.Err || !payloadEqual(m.FetchReply.Value, back.FetchReply.Value) {
+				t.Fatalf("%s decode: fetch reply differs", name)
+			}
+		case KindBroadcastPush:
+			if back.Push.ID != m.Push.ID || back.Push.Version != m.Push.Version ||
+				!payloadEqual(m.Push.Value, back.Push.Value) {
+				t.Fatalf("%s decode: push differs", name)
+			}
+		case KindHello:
+			if back.Hello.Worker != m.Hello.Worker || !reflect.DeepEqual(back.Hello.Codecs, m.Hello.Codecs) {
+				t.Fatalf("%s decode: hello differs", name)
+			}
+		case KindHelloAck:
+			if back.HelloAck.Codec != m.HelloAck.Codec {
+				t.Fatalf("%s decode: hello-ack differs", name)
+			}
+		case KindFetch:
+			if !reflect.DeepEqual(back.Fetch, m.Fetch) {
+				t.Fatalf("%s decode: fetch differs", name)
+			}
+		case KindAck:
+			if !reflect.DeepEqual(back.Ack, m.Ack) {
+				t.Fatalf("%s decode: ack differs", name)
+			}
+		}
+	}
+	check("binary", binFrame)
+	check("gob", gobFrame)
+	return len(binFrame), len(gobFrame)
+}
+
+func randVec(rng *rand.Rand, n int) la.Vec {
+	v := la.NewVec(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randDeltaVec(rng *rand.Rand, n, nnz int) *la.DeltaVec {
+	seen := map[int32]bool{}
+	for len(seen) < nnz {
+		seen[int32(rng.Intn(n))] = true
+	}
+	d := &la.DeltaVec{N: n}
+	for j := int32(0); int(j) < n && len(d.Idx) < nnz; j++ {
+		if seen[j] {
+			d.Idx = append(d.Idx, j)
+			d.Val = append(d.Val, rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+func TestCodecResultRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 100, 4096, 100_000} {
+		m := Message{Kind: KindTaskResult, Result: &Result{
+			TaskID: rng.Int63(), Worker: rng.Intn(32), Op: "opt.grad",
+			Dispatch: rng.Int63(), Payload: randVec(rng, n),
+			ComputeTime: time.Duration(rng.Int63n(1e9)), WaitTime: time.Duration(rng.Int63n(1e6)),
+		}}
+		binB, gobB := roundTrip(t, m)
+		if n >= 100 && binB >= gobB {
+			t.Errorf("n=%d: binary frame (%dB) not smaller than gob (%dB)", n, binB, gobB)
+		}
+	}
+}
+
+func TestCodecResultRoundTripSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct{ n, nnz int }{{10, 0}, {10, 3}, {1000, 50}, {1 << 20, 100}, {1 << 20, 20000}}
+	for _, c := range cases {
+		m := Message{Kind: KindTaskResult, Result: &Result{
+			TaskID: 7, Worker: 2, Payload: randDeltaVec(rng, c.n, c.nnz),
+		}}
+		roundTrip(t, m)
+	}
+}
+
+func TestCodecSpecialFloats(t *testing.T) {
+	v := la.Vec{math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	roundTrip(t, Message{Kind: KindBroadcastPush, Push: &BroadcastPush{ID: "w", Version: 3, Value: v}})
+	// NaN defeats == comparison; check it survives the binary trip by hand
+	frame, _, err := EncodeFrame(Message{Kind: KindFetchReply, FetchReply: &FetchReply{ID: "w", Version: 1, Value: la.Vec{math.NaN()}}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.FetchReply.Value.(la.Vec)
+	if len(got) != 1 || !math.IsNaN(got[0]) {
+		t.Fatalf("NaN did not survive: %v", got)
+	}
+}
+
+func TestCodecControlMessages(t *testing.T) {
+	msgs := []Message{
+		{Kind: KindHello, Hello: &Hello{Worker: 4, Codecs: []string{BinCodecName}}},
+		{Kind: KindHelloAck, HelloAck: &HelloAck{Codec: BinCodecName}},
+		{Kind: KindFetch, Fetch: &FetchReq{Worker: 1, ID: "model", Version: 42}},
+		{Kind: KindAck, Seq: 9, Ack: &Ack{Seq: 9, Err: "boom"}},
+		{Kind: KindShutdown},
+		{Kind: KindRunTask, Task: &Task{ID: 5, Op: "opt.grad", Partition: -1, Seed: -77, Dispatch: 12}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+// TestCodecInstallFallsBack: partition installs (rare, setup-time) have no
+// binary encoding and ride gob frames even when binary is negotiated.
+func TestCodecInstallFallsBack(t *testing.T) {
+	RegisterGobTypes()
+	frame, usedBin, err := EncodeFrame(Message{Kind: KindInstallPartition, Seq: 3, Install: &InstallPartition{}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedBin {
+		t.Fatal("install message must fall back to gob")
+	}
+	back, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != KindInstallPartition || back.Seq != 3 {
+		t.Fatalf("got %v seq %d", back.Kind, back.Seq)
+	}
+}
+
+// TestCodecEncodeSteadyStateAllocs: framing a task result through the
+// reusable writer is allocation-free once the buffer has grown.
+func TestCodecEncodeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Message{Kind: KindTaskResult, Result: &Result{
+		TaskID: 1, Worker: 0, Payload: randDeltaVec(rng, 10000, 200),
+	}}
+	var w BinWriter
+	var out []byte
+	var err error
+	work := func() {
+		out, _, err = appendFrameBody(&w, out[:0], &m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	work()
+	if allocs := testing.AllocsPerRun(100, work); allocs > 0 {
+		t.Errorf("binary encode allocates %v per message, want 0", allocs)
+	}
+}
+
+// FuzzDecodeFrame hardens the wire decoder: arbitrary bytes must never
+// panic or over-allocate, and every frame the encoder produces must decode.
+func FuzzDecodeFrame(f *testing.F) {
+	RegisterGobTypes()
+	rng := rand.New(rand.NewSource(4))
+	seedMsgs := []Message{
+		{Kind: KindTaskResult, Result: &Result{TaskID: 3, Payload: randVec(rng, 16)}},
+		{Kind: KindTaskResult, Result: &Result{TaskID: 4, Payload: randDeltaVec(rng, 1000, 20)}},
+		{Kind: KindHello, Hello: &Hello{Worker: 0, Codecs: []string{BinCodecName}}},
+		{Kind: KindFetch, Fetch: &FetchReq{Worker: 2, ID: "m", Version: 1}},
+		{Kind: KindShutdown},
+	}
+	for _, m := range seedMsgs {
+		if frame, _, err := EncodeFrame(m, true); err == nil {
+			f.Add(frame)
+		}
+	}
+	f.Add([]byte{0, 0, 0, 2, frameBinary, byte(KindTaskResult)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeFrame(data) // must not panic
+	})
+}

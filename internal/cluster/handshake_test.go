@@ -9,15 +9,15 @@ import (
 	"repro/internal/straggler"
 )
 
-// dialRaw opens a gob endpoint without the worker runtime, to exercise the
-// handshake rejection paths.
+// dialRaw opens a framed endpoint without the worker runtime, to exercise
+// the handshake rejection paths.
 func dialRaw(t *testing.T, addr string) Endpoint {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewGobEndpoint(conn)
+	return NewFramedEndpoint(conn)
 }
 
 // TestServeTCPRejectsBadHandshake: connections with a wrong first message,

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/la"
 )
 
 // Kind discriminates protocol messages.
@@ -37,6 +38,7 @@ const (
 	KindFetchReply
 	KindBroadcastPush
 	KindShutdown
+	KindHelloAck
 )
 
 func (k Kind) String() string {
@@ -59,6 +61,8 @@ func (k Kind) String() string {
 		return "broadcast-push"
 	case KindShutdown:
 		return "shutdown"
+	case KindHelloAck:
+		return "hello-ack"
 	default:
 		return "unknown"
 	}
@@ -133,9 +137,21 @@ type InstallPartition struct {
 	Part *dataset.Partition
 }
 
-// Hello is the worker's first message on a transport connection.
+// Hello is the worker's first message on a transport connection. Codecs
+// advertises the wire codecs the sender can decode (e.g. BinCodecName); the
+// framed TCP endpoint fills it in and the receiving side answers with a
+// HelloAck naming the codec it picked, after which both directions use it.
 type Hello struct {
 	Worker int
+	Codecs []string
+}
+
+// HelloAck completes the codec negotiation: it names the codec the receiver
+// of a Hello selected from the offered list ("" = stay on gob). It is
+// consumed inside the framed endpoint and never surfaces to the worker or
+// server loops.
+type HelloAck struct {
+	Codec string
 }
 
 // Ack acknowledges an install (correlated by sequence number).
@@ -150,6 +166,7 @@ type Message struct {
 	Kind       Kind
 	Seq        int64 // request/ack correlation for control messages
 	Hello      *Hello
+	HelloAck   *HelloAck
 	Task       *Task
 	Result     *Result
 	Install    *InstallPartition
@@ -164,6 +181,7 @@ type Message struct {
 // with custom Args/Payload types must gob.Register them too.
 func RegisterGobTypes() {
 	gob.Register(Hello{})
+	gob.Register(HelloAck{})
 	gob.Register(Task{})
 	gob.Register(Result{})
 	gob.Register(InstallPartition{})
@@ -172,4 +190,6 @@ func RegisterGobTypes() {
 	gob.Register(FetchReply{})
 	gob.Register(BroadcastPush{})
 	gob.Register(dataset.Partition{})
+	gob.Register(la.Vec{})
+	gob.Register(&la.DeltaVec{})
 }

@@ -18,10 +18,11 @@ import (
 // two tasks concurrently; the mutex only protects the buffer maps for
 // callers that probe an Env from tests or tooling.
 type Scratch struct {
-	mu   sync.Mutex
-	rng  *rand.Rand
-	vecs map[string]la.Vec
-	i32s map[string][]int32
+	mu     sync.Mutex
+	rng    *rand.Rand
+	vecs   map[string]la.Vec
+	i32s   map[string][]int32
+	deltas map[string]*la.DeltaAccum
 }
 
 // Vec returns a zeroed scratch vector of length n under key, reusing the
@@ -59,6 +60,25 @@ func (s *Scratch) I32(key string, n int) []int32 {
 		s.i32s[key] = v
 	}
 	return v
+}
+
+// Delta returns the worker's sparse scatter accumulator of dimension n
+// under key, reusing the previous one when the dimension matches. Like Vec
+// buffers it must never escape the task; kernels snapshot it into a pooled
+// la.DeltaVec (DeltaAccum.Compact) before returning. The caller is
+// responsible for Reset — contents carry no meaning between tasks.
+func (s *Scratch) Delta(key string, n int) *la.DeltaAccum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deltas == nil {
+		s.deltas = map[string]*la.DeltaAccum{}
+	}
+	a, ok := s.deltas[key]
+	if !ok || a.Dim() != n {
+		a = la.NewDeltaAccum(n)
+		s.deltas[key] = a
+	}
+	return a
 }
 
 // Rand returns the worker's reusable task RNG reseeded with seed. Reseeding

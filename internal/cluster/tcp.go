@@ -1,52 +1,130 @@
 package cluster
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/straggler"
 )
 
-// gobEndpoint carries protocol messages over a stream connection using
-// encoding/gob. Sends are serialized by a mutex; receives happen from a
-// single loop per endpoint, matching the Endpoint contract.
-type gobEndpoint struct {
+// FramedEndpoint carries protocol messages over a stream connection as
+// length-prefixed frames (see codec.go). Each frame is either a compact
+// binary message or a self-contained gob blob; receivers always accept
+// both, and a sender switches to binary once the peer has advertised
+// support through the Hello/HelloAck negotiation:
+//
+//   - outgoing Hello messages are stamped with Codecs = [BinCodecName];
+//   - an endpoint that receives such a Hello enables binary sends and
+//     answers with a HelloAck (the Hello still surfaces to the caller);
+//   - an endpoint that receives a matching HelloAck enables binary sends
+//     and consumes the ack internally.
+//
+// Sends are serialized by a mutex; receives happen from a single loop per
+// endpoint, matching the Endpoint contract.
+type FramedEndpoint struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	wmu  sync.Mutex
+	br   *bufio.Reader
 
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc BinWriter // reused frame scratch, guarded by wmu
+	out []byte    // reused frame buffer, guarded by wmu
+
+	binSend   atomic.Bool // peer can decode binary frames
 	closeOnce sync.Once
 }
 
-// NewGobEndpoint wraps a connection in the message protocol.
-func NewGobEndpoint(conn net.Conn) Endpoint {
-	return &gobEndpoint{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+// NewFramedEndpoint wraps a connection in the framed message protocol.
+func NewFramedEndpoint(conn net.Conn) *FramedEndpoint {
+	return &FramedEndpoint{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
 }
 
-func (e *gobEndpoint) Send(m Message) error {
+// BinarySend reports whether the peer negotiated the binary codec.
+func (e *FramedEndpoint) BinarySend() bool { return e.binSend.Load() }
+
+// Send encodes m as one frame and flushes it.
+func (e *FramedEndpoint) Send(m Message) error {
+	if m.Kind == KindHello && m.Hello != nil && len(m.Hello.Codecs) == 0 {
+		h := *m.Hello
+		h.Codecs = []string{BinCodecName}
+		m.Hello = &h
+	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	if err := e.enc.Encode(&m); err != nil {
-		return fmt.Errorf("cluster: gob send: %w", err)
+	out, _, err := appendFrameBody(&e.enc, e.out[:0], &m, e.binSend.Load())
+	if err != nil {
+		return fmt.Errorf("cluster: framed send: %w", err)
+	}
+	e.out = out // keep the grown buffer for reuse
+	if _, err := e.bw.Write(out); err != nil {
+		return fmt.Errorf("cluster: framed send: %w", err)
+	}
+	if err := e.bw.Flush(); err != nil {
+		return fmt.Errorf("cluster: framed send: %w", err)
 	}
 	return nil
 }
 
-func (e *gobEndpoint) Recv() (Message, error) {
-	var m Message
-	if err := e.dec.Decode(&m); err != nil {
-		return Message{}, fmt.Errorf("cluster: gob recv: %w", err)
+// Recv reads frames until one carries a caller-visible message, handling
+// codec negotiation transparently.
+func (e *FramedEndpoint) Recv() (Message, error) {
+	for {
+		var hdr [5]byte
+		if _, err := io.ReadFull(e.br, hdr[:]); err != nil {
+			return Message{}, fmt.Errorf("cluster: framed recv: %w", err)
+		}
+		l := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+		if l < 1 || l > maxFrame {
+			return Message{}, fmt.Errorf("cluster: framed recv: bad frame length %d", l)
+		}
+		body := make([]byte, l-1)
+		if _, err := io.ReadFull(e.br, body); err != nil {
+			return Message{}, fmt.Errorf("cluster: framed recv: %w", err)
+		}
+		m, err := decodeFrameBody(hdr[4], body)
+		if err != nil {
+			return Message{}, err
+		}
+		switch {
+		case m.Kind == KindHello && m.Hello != nil:
+			if offersCodec(m.Hello.Codecs, BinCodecName) {
+				e.binSend.Store(true)
+				_ = e.Send(Message{Kind: KindHelloAck, HelloAck: &HelloAck{Codec: BinCodecName}})
+			}
+			return m, nil
+		case m.Kind == KindHelloAck:
+			if m.HelloAck != nil && m.HelloAck.Codec == BinCodecName {
+				e.binSend.Store(true)
+			}
+			continue // negotiation detail, invisible to the caller
+		default:
+			return m, nil
+		}
 	}
-	return m, nil
 }
 
-func (e *gobEndpoint) Close() error {
+// Close tears down the connection.
+func (e *FramedEndpoint) Close() error {
 	var err error
 	e.closeOnce.Do(func() { err = e.conn.Close() })
 	return err
+}
+
+func offersCodec(codecs []string, name string) bool {
+	for _, c := range codecs {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ListenTCP starts a server listener and accepts exactly numWorkers worker
@@ -68,7 +146,8 @@ func ListenTCP(addr string, numWorkers int) (*Cluster, net.Listener, error) {
 // ServeTCP accepts exactly numWorkers worker connections on an existing
 // listener and assembles the Cluster. Connections that fail the handshake
 // (bad hello, duplicate or out-of-range id) are dropped and the slot stays
-// open for a retry.
+// open for a retry. Workers that advertise the binary codec in their Hello
+// are answered with a HelloAck and served binary frames from then on.
 func ServeTCP(ln net.Listener, numWorkers int) (*Cluster, error) {
 	RegisterGobTypes()
 	if numWorkers <= 0 {
@@ -81,7 +160,7 @@ func ServeTCP(ln net.Listener, numWorkers int) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: accept: %w", err)
 		}
-		ep := NewGobEndpoint(conn)
+		ep := NewFramedEndpoint(conn)
 		m, err := ep.Recv()
 		if err != nil || m.Kind != KindHello || m.Hello == nil {
 			_ = ep.Close()
@@ -106,7 +185,7 @@ func DialWorkerTCP(addr string, id int, delay straggler.Model, seed int64) error
 	if err != nil {
 		return fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	ep := NewGobEndpoint(conn)
+	ep := NewFramedEndpoint(conn)
 	w := NewWorker(id, ep, delay, seed)
 	defer ep.Close()
 	return w.Run()

@@ -35,6 +35,38 @@ func (ac *Context) ASYNCbroadcastEager(id string, value any) DynBroadcast {
 	return DynBroadcast{ID: id, Version: b.Version}
 }
 
+// ASYNCbroadcastStamped is the versioned model broadcast of the steady-state
+// driver loop: the value is re-registered under a fresh version only when
+// stamp differs from the previous call's stamp for this id. When the stamp
+// is unchanged — the driver loop came around without applying any update —
+// the existing (id, version) handle is returned, value() is never invoked
+// (no clone, no allocation), and workers whose caches already hold that
+// version skip the fetch entirely. Drivers pass the model-update clock as
+// the stamp, which makes a re-broadcast of an unchanged model free on the
+// driver and on the wire.
+func (ac *Context) ASYNCbroadcastStamped(id string, stamp int64, value func() any) DynBroadcast {
+	ac.bcastMu.Lock()
+	if ac.bcastMemo == nil {
+		ac.bcastMemo = map[string]stampedBroadcast{}
+	}
+	if m, ok := ac.bcastMemo[id]; ok && m.stamp == stamp {
+		ac.bcastMu.Unlock()
+		return m.br
+	}
+	ac.bcastMu.Unlock()
+	br := ac.ASYNCbroadcast(id, value())
+	ac.bcastMu.Lock()
+	ac.bcastMemo[id] = stampedBroadcast{stamp: stamp, br: br}
+	ac.bcastMu.Unlock()
+	return br
+}
+
+// stampedBroadcast memoizes the live (stamp, handle) pair per broadcast id.
+type stampedBroadcast struct {
+	stamp int64
+	br    DynBroadcast
+}
+
 // Value resolves the broadcast's current value on a worker (w_br.value in
 // Algorithms 2 and 4).
 func (b DynBroadcast) Value(env *cluster.Env) (any, error) {
@@ -49,7 +81,19 @@ type historyTable struct {
 	vers map[int]int64 // global sample index → broadcast version
 }
 
-func historyKey(id string) string { return "core.history." + id }
+// historyKeys interns the per-id store keys: resolving a history handle is
+// on the per-task path, and rebuilding the key would put a string concat
+// allocation back on it. The id set is tiny (one per broadcast name).
+var historyKeys sync.Map // id → "core.history." + id
+
+func historyKey(id string) string {
+	if k, ok := historyKeys.Load(id); ok {
+		return k.(string)
+	}
+	k := "core.history." + id
+	historyKeys.Store(id, k)
+	return k
+}
 
 func getHistory(env *cluster.Env, id string) *historyTable {
 	return env.StoreGetOrCreate(historyKey(id), func() any {

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Binary payload codes claimed by the core layer. The opt layer claims the
+// next block (see internal/opt); keep the ranges disjoint.
+const (
+	payloadReduce byte = 16
+)
+
+func init() {
+	// ReducePayload wraps every ASYNCreduce partial that crosses a real
+	// transport, so teaching the binary codec about it (with the inner
+	// value encoded recursively) is what puts task results on the compact
+	// wire format end to end.
+	cluster.RegisterPayloadCodec(payloadReduce, ReducePayload{},
+		func(w *cluster.BinWriter, v any) error {
+			kp, ok := v.(ReducePayload)
+			if !ok {
+				return fmt.Errorf("core: reduce codec got %T", v)
+			}
+			w.PutVarint(int64(kp.N))
+			b := byte(0)
+			if kp.Empty {
+				b = 1
+			}
+			w.PutByte(b)
+			return w.PutValue(kp.Val)
+		},
+		func(r *cluster.BinReader) (any, error) {
+			kp := ReducePayload{N: int(r.Varint()), Empty: r.Byte() == 1}
+			v, err := r.Value()
+			if err != nil {
+				return nil, err
+			}
+			kp.Val = v
+			return kp, r.Err()
+		})
+}

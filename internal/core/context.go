@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -19,6 +20,10 @@ type Context struct {
 	rctx  *rdd.Context
 	coord *Coordinator
 	sched *scheduler
+
+	// bcastMemo backs ASYNCbroadcastStamped (per-run; cleared by ResetRun).
+	bcastMu   sync.Mutex
+	bcastMemo map[string]stampedBroadcast
 
 	// BarrierTimeout bounds ASYNCbarrier blocking (0 = default 30s).
 	BarrierTimeout time.Duration
@@ -72,6 +77,9 @@ func (ac *Context) ResetRun(timeout time.Duration) error {
 	if err := ac.coord.ResetRun(timeout); err != nil {
 		return err
 	}
+	ac.bcastMu.Lock()
+	ac.bcastMemo = nil // stamps restart with the zeroed clock
+	ac.bcastMu.Unlock()
 	c := ac.rctx.Cluster()
 	router := c.Router()
 	workers := c.AliveWorkers()

@@ -13,6 +13,7 @@ var catalog = map[string]func(Scale, int64) SynthConfig{
 	"rcv1-like":    RCV1Like,
 	"mnist8m-like": MNIST8MLike,
 	"epsilon-like": EpsilonLike,
+	"sparse-wide":  SparseWide,
 }
 
 // CatalogNames lists the named synthetic datasets, sorted.

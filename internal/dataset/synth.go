@@ -163,6 +163,24 @@ func EpsilonLike(s Scale, seed int64) SynthConfig {
 	}
 }
 
+// SparseWide is a high-dimensional, extremely sparse regression dataset
+// (d ≈ 1e6 at full scale, ~100 nnz per row, density ~1e-4) built to
+// exercise the O(nnz) sparse-delta data path: per-task work, driver
+// updates, and wire payloads all scale with nnz while the model itself is a
+// million-dimensional dense vector. Not a Table 2 analogue — it is the
+// serving-layer stress shape for sparse workloads, addressable by name
+// through the jobs API and the benchmarks.
+func SparseWide(s Scale, seed int64) SynthConfig {
+	return SynthConfig{
+		Name:      "sparse-wide",
+		Rows:      scalePick(s, 300, 3000, 20000),
+		Cols:      scalePick(s, 20_000, 200_000, 1_000_000),
+		NNZPerRow: scalePick(s, 16, 64, 100),
+		Noise:     0.3,
+		Seed:      seed,
+	}
+}
+
 // Table2 returns the three paper datasets at the given scale, in the order
 // the paper lists them.
 func Table2(s Scale, seed int64) []SynthConfig {

@@ -198,8 +198,12 @@ func AblationLocalReduce(o Options) (*metrics.Table, error) {
 				}
 				alpha := step.Alpha(int64(collected))
 				if mode == "local-reduce" {
-					g := res.Payload.(la.Vec)
-					la.Axpy(-alpha/float64(res.Attrs.MiniBatch), g, w)
+					// payload may be dense or a sparse delta depending on
+					// the dataset; AxpyPayload handles (and recycles) both
+					if err := opt.AxpyPayload(-alpha/float64(res.Attrs.MiniBatch), res.Payload, w); err != nil {
+						eng.Close()
+						return nil, err
+					}
 					vecsShipped++
 				} else {
 					// Glint-style: the server applies every per-sample

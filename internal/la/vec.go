@@ -17,6 +17,19 @@
 // is caller-provided or O(1). Treat this as API: a change that makes any
 // of these allocate is a regression, and the CI bench job will surface it
 // as ns/gradient and allocs/op movement in BENCH_*.json.
+//
+// Sparse-delta invariant: the O(nnz) data path is built from DeltaVec (a
+// pooled, mutable sparse update with sorted indices — GetDelta/PutDelta
+// mirror the dense pool) and DeltaAccum (a generation-stamped scatter
+// accumulator whose Reset is O(1) and whose Compact radix-sorts only the
+// touched coordinate set). A task that accumulates s samples of at most k
+// nonzeros costs O(s·k) plus O(t) compaction for t distinct touched
+// coordinates — never O(dimension) — and, like the dense path, allocates
+// nothing in steady state (TestDeltaAccumSteadyStateAllocFree,
+// TestSparseGradKernelZeroAlloc in internal/opt). When the sparse path
+// engages, which update terms may be deferred, and how deltas travel the
+// wire are contracts of internal/opt (SparseDensityThreshold, lazy.go) and
+// internal/cluster (codec.go) respectively.
 package la
 
 import (

@@ -64,18 +64,26 @@ func gradSweep(loss Loss, p *dataset.Partition, rng *rand.Rand, frac float64, w,
 // sample each row of the worker's partitions with probability frac, sum the
 // per-sample loss gradients at the broadcast model, and return the
 // (unnormalized) gradient sum. The driver divides by the batch size from
-// the result attributes.
+// the result attributes. frac is validated by the drivers' defaults() (and
+// by the remote op handlers for args that arrive over a wire) so the hot
+// path carries no range check.
+//
+// Sparse-delta path: when the loss is linear (see LinearLoss) and every
+// partition of the task sits below SparseDensityThreshold, the kernel
+// accumulates only touched coordinates and returns a pooled *la.DeltaVec —
+// O(nnz) per task. For an L2-regularized loss the sparse payload carries
+// the inner gradient only; the driver applies the shrinkage lazily
+// (lazy.go). Dense partitions keep the dense path unchanged.
 //
 // Reproducibility contract: sampling draws from the worker's reusable RNG
 // reseeded with the task seed, which yields exactly the stream of
 // rand.New(rand.NewSource(seed)) — the same seed always selects the same
 // sample set regardless of what ran on the worker before (see
-// TestGradKernelSeedReproducibility).
+// TestGradKernelSeedReproducibility). The sparse sweep consumes the RNG
+// identically, so both paths sample the same rows.
 func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
+	lin, _, linOK := splitLoss(loss)
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
-		if frac <= 0 || frac > 1 {
-			return nil, 0, fmt.Errorf("opt: sample fraction %v outside (0,1]", frac)
-		}
 		wv, err := wBr.Value(env)
 		if err != nil {
 			return nil, 0, err
@@ -84,8 +92,24 @@ func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
-		g := la.GetVec(len(w))
 		rng := env.Scratch().Rand(seed)
+		if linOK && sparseTaskViable(env, parts, frac, len(w)) {
+			acc := env.Scratch().Delta("opt.grad.acc", len(w))
+			acc.Reset()
+			n := 0
+			for _, pi := range parts {
+				p, err := env.Partition(pi)
+				if err != nil {
+					return nil, 0, err
+				}
+				n += gradSweepSparse(lin, p, rng, frac, w, acc)
+			}
+			if n == 0 {
+				return nil, 0, nil // empty sample: no result
+			}
+			return acc.Compact(), n, nil
+		}
+		g := la.GetVec(len(w))
 		n := 0
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
@@ -111,11 +135,17 @@ func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 // also the only initialization under which Algorithm 3's
 // `averageHistory = 0` start is consistent). Sampling follows GradKernel's
 // reproducibility contract (per-worker RNG reseeded with the task seed).
+// frac is validated by the drivers' defaults(), not here.
+//
+// Sparse-delta path: for an unregularized linear loss over partitions below
+// SparseDensityThreshold the kernel returns a SagaDelta of pooled sparse
+// sums (the current and historical gradients of a sampled row share its
+// support); the driver applies the update — including the dense avgHist
+// drift — lazily in O(nnz) (see saga.go).
 func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
+	lin, lambda, linOK := splitLoss(loss)
+	sparseOK := linOK && lambda == 0 // lazy SAGA shrinkage is not supported
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
-		if frac <= 0 || frac > 1 {
-			return nil, 0, fmt.Errorf("opt: sample fraction %v outside (0,1]", frac)
-		}
 		wv, err := wBr.Value(env)
 		if err != nil {
 			return nil, 0, err
@@ -124,6 +154,47 @@ func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 		if err != nil {
 			return nil, 0, err
 		}
+		n := 0
+		rng := env.Scratch().Rand(seed)
+		hist := wBr.History(env) // hoisted: per-sample lookups are alloc-free
+		if sparseOK && sparseTaskViable(env, parts, frac, len(w)) {
+			accCur := env.Scratch().Delta("opt.saga.cur", len(w))
+			accHist := env.Scratch().Delta("opt.saga.hist", len(w))
+			accCur.Reset()
+			accHist.Reset()
+			for _, pi := range parts {
+				p, err := env.Partition(pi)
+				if err != nil {
+					return nil, 0, err
+				}
+				for local := 0; local < p.NumRows(); local++ {
+					if rng.Float64() >= frac {
+						continue
+					}
+					idx := p.GlobalRow(local)
+					rowIdx, rowVal := p.X.RowNZ(local)
+					y := p.Y[local]
+					accCur.Accum(lin.GradCoeff(la.SparseDot(rowIdx, rowVal, w), y), rowIdx, rowVal)
+					hv, touched, err := hist.TryValueAt(env, idx)
+					if err != nil {
+						return nil, 0, err
+					}
+					if touched {
+						wHist, err := asVec(hv)
+						if err != nil {
+							return nil, 0, err
+						}
+						accHist.Accum(lin.GradCoeff(la.SparseDot(rowIdx, rowVal, wHist), y), rowIdx, rowVal)
+					}
+					hist.Record(idx)
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, 0, nil
+			}
+			return SagaDelta{Sum: accCur.Compact(), HistSum: accHist.Compact()}, n, nil
+		}
 		gCur := la.GetVec(len(w))
 		gHist := la.GetVec(len(w))
 		fail := func(err error) (any, int, error) {
@@ -131,9 +202,6 @@ func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 			la.PutVec(gHist)
 			return nil, 0, err
 		}
-		n := 0
-		rng := env.Scratch().Rand(seed)
-		hist := wBr.History(env) // hoisted: per-sample lookups are alloc-free
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {
@@ -171,7 +239,14 @@ func SagaKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
 // VRKernel builds the inner-loop kernel of the epoch-based variance-reduced
 // scheme (Listing 3 / SVRG): per sampled row it returns ∇f_i(w) − ∇f_i(w̃),
 // where w̃ is the epoch anchor.
+//
+// Sparse-delta path: for an unregularized linear loss the per-sample
+// difference is (c_w − c_w̃)·x — one scatter over the row's support — so
+// sparse partitions ship a pooled *la.DeltaVec and the driver defers the
+// dense μ term lazily (see svrg.go).
 func VRKernel(loss Loss, wBr, anchorBr core.DynBroadcast, frac float64) core.Kernel {
+	lin, lambda, linOK := splitLoss(loss)
+	sparseOK := linOK && lambda == 0
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
 		wv, err := wBr.Value(env)
 		if err != nil {
@@ -189,10 +264,36 @@ func VRKernel(loss Loss, wBr, anchorBr core.DynBroadcast, frac float64) core.Ker
 		if err != nil {
 			return nil, 0, err
 		}
+		rng := env.Scratch().Rand(seed)
+		if sparseOK && sparseTaskViable(env, parts, frac, len(w)) {
+			acc := env.Scratch().Delta("opt.vr.acc", len(w))
+			acc.Reset()
+			n := 0
+			for _, pi := range parts {
+				p, err := env.Partition(pi)
+				if err != nil {
+					return nil, 0, err
+				}
+				for local := 0; local < p.NumRows(); local++ {
+					if rng.Float64() >= frac {
+						continue
+					}
+					idx, val := p.X.RowNZ(local)
+					y := p.Y[local]
+					c := lin.GradCoeff(la.SparseDot(idx, val, w), y) -
+						lin.GradCoeff(la.SparseDot(idx, val, anchor), y)
+					acc.Accum(c, idx, val)
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, 0, nil
+			}
+			return acc.Compact(), n, nil
+		}
 		diff := la.GetVec(len(w))
 		tmp := env.Scratch().Vec("opt.vr.tmp", len(w))
 		n := 0
-		rng := env.Scratch().Rand(seed)
 		for _, pi := range parts {
 			p, err := env.Partition(pi)
 			if err != nil {

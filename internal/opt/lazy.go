@@ -1,0 +1,207 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Driver-side lazy model updates for the sparse-delta data path.
+//
+// A sparse task payload touches O(nnz) coordinates, but two update terms
+// are dense by nature: the L2 shrinkage (1 − αλ)·w of a Ridge loss, and
+// additive dense drifts like SAGA's −α·avgHist or SVRG's −α·μ. Applying
+// either eagerly would put the driver back at O(d) per update. Instead the
+// appliers here defer the dense term per coordinate — a timestamp records
+// how far each coordinate has been settled — and settle it in O(1) when a
+// sparse update touches the coordinate, or in one O(d) sweep when the full
+// model must be externally consistent (snapshot, broadcast, finish, or a
+// dense payload arriving mid-run). The deferred algebra telescopes, so the
+// settled model is mathematically identical to the eager dense path; the
+// regression tests in sparse_test.go pin this (bitwise for unregularized
+// losses, to rounding for the deferred products and sums).
+
+// shrinkRenorm bounds the running shrink-factor product: when it decays
+// below this, a settle sweep renormalises it to 1 so the per-coordinate
+// ratios never lose precision or underflow.
+const shrinkRenorm = 1e-120
+
+// sgdApplier applies collected gradient payloads for the SGD family
+// (SyncSGD has its own per-round reduction; ASGD and RemoteASGD use this).
+// Dense la.Vec payloads take the eager path unchanged; sparse *la.DeltaVec
+// payloads take the O(nnz) path with lazy L2 shrinkage.
+type sgdApplier struct {
+	st     *stepper
+	lambda float64 // L2 coefficient peeled off a Ridge loss (0 = none)
+
+	// lazy shrinkage state: the true model is w[j]·(prod/lastProd[j]);
+	// settle() restores w[j] itself and resets both to 1.
+	prod     float64
+	lastProd la.Vec
+	dirty    bool
+
+	scatter la.Vec // dense scratch for the momentum fallback
+}
+
+// newSGDApplier builds the applier for a run over cols coordinates.
+func newSGDApplier(p *Params, cols int) *sgdApplier {
+	a := &sgdApplier{st: newStepper(p.Momentum, cols), prod: 1}
+	if _, lambda, ok := splitLoss(p.Loss); ok {
+		a.lambda = lambda
+	}
+	return a
+}
+
+// apply performs one model update from a collected payload and recycles the
+// payload's pooled storage. alpha is the step size, batch the mini-batch
+// size from the result attributes.
+func (a *sgdApplier) apply(w la.Vec, payload any, alpha float64, batch int) error {
+	switch g := payload.(type) {
+	case la.Vec:
+		// dense partials already carry the loss's own λ·w_task terms
+		a.settle(w)
+		a.st.apply(w, g, alpha/float64(batch))
+		la.PutVec(g)
+		return nil
+	case *la.DeltaVec:
+		a.applySparse(w, g, alpha, batch)
+		la.PutDelta(g)
+		return nil
+	default:
+		return fmt.Errorf("opt: unexpected gradient payload %T", payload)
+	}
+}
+
+func (a *sgdApplier) applySparse(w la.Vec, g *la.DeltaVec, alpha float64, batch int) {
+	ab := alpha / float64(batch)
+	if a.st.mu > 0 {
+		// momentum decays every velocity coordinate — inherently O(d), so
+		// expand the delta and take the dense step (the sparse payload
+		// still saved worker compute and wire bytes)
+		a.settle(w)
+		if a.scatter == nil {
+			a.scatter = la.NewVec(len(w))
+		}
+		a.scatter.Zero()
+		g.AxpyDense(1, a.scatter)
+		if a.lambda > 0 {
+			la.Axpy(float64(batch)*a.lambda, w, a.scatter)
+		}
+		a.st.apply(w, a.scatter, ab)
+		return
+	}
+	if a.lambda <= 0 {
+		g.AxpyDense(-ab, w)
+		return
+	}
+	// lazy L2: w ← (1−αλ)·w − (α/b)·g, shrinking untouched coordinates
+	// only through the deferred product
+	if a.lastProd == nil {
+		a.lastProd = la.NewVec(len(w))
+		for j := range a.lastProd {
+			a.lastProd[j] = 1
+		}
+	}
+	np := a.prod * (1 - alpha*a.lambda)
+	for k, j := range g.Idx {
+		w[j] = w[j]*(np/a.lastProd[j]) - ab*g.Val[k]
+		a.lastProd[j] = np
+	}
+	a.prod = np
+	a.dirty = true
+	if math.Abs(np) < shrinkRenorm {
+		a.settle(w)
+	}
+}
+
+// settle flushes deferred shrinkage so w is externally consistent. Call
+// before any read of the full model: snapshot, broadcast, finish, or a
+// dense update.
+func (a *sgdApplier) settle(w la.Vec) {
+	if !a.dirty {
+		return
+	}
+	for j := range w {
+		if a.lastProd[j] != a.prod {
+			w[j] *= a.prod / a.lastProd[j]
+		}
+		a.lastProd[j] = 1
+	}
+	a.prod = 1
+	a.dirty = false
+}
+
+// AxpyPayload applies w += alpha·g for a collected gradient payload of
+// either task path — dense la.Vec or sparse *la.DeltaVec — and recycles
+// the payload's pooled storage. Consumers outside the solver drivers
+// (ablation harnesses, examples) use it so they stay correct whichever
+// path the kernel chose.
+func AxpyPayload(alpha float64, payload any, w la.Vec) error {
+	switch g := payload.(type) {
+	case la.Vec:
+		la.Axpy(alpha, g, w)
+		la.PutVec(g)
+		return nil
+	case *la.DeltaVec:
+		g.AxpyDense(alpha, w)
+		la.PutDelta(g)
+		return nil
+	default:
+		return fmt.Errorf("opt: unexpected gradient payload %T", payload)
+	}
+}
+
+// lazyDrift defers the per-update dense term w ← w − α·base where base[j]
+// changes only at moments coordinate j is being settled anyway (SAGA's
+// avgHist moves only at touched coordinates; SVRG's μ is constant within an
+// epoch). cum accumulates the applied step sizes; last[j] records cum at
+// coordinate j's latest settle, so the missing contribution is
+// (cum − last[j])·base[j] — the telescoped sum of the skipped updates.
+type lazyDrift struct {
+	cum   float64
+	last  la.Vec
+	dirty bool
+}
+
+// ensure sizes the timestamp table on first sparse use; existing deferred
+// state is preserved across calls.
+func (l *lazyDrift) ensure(cols int) {
+	if l.last == nil {
+		l.last = la.NewVec(cols)
+		for j := range l.last {
+			l.last[j] = l.cum
+		}
+	}
+}
+
+// advance registers one applied update of step alpha whose dense term is
+// being deferred.
+func (l *lazyDrift) advance(alpha float64) {
+	l.cum += alpha
+	l.dirty = true
+}
+
+// settleCoord catches coordinate j up through every update registered so
+// far, reading base[j] before the caller mutates it.
+func (l *lazyDrift) settleCoord(w, base la.Vec, j int32) {
+	if d := l.cum - l.last[j]; d != 0 {
+		w[j] -= d * base[j]
+	}
+	l.last[j] = l.cum
+}
+
+// settleAll catches every coordinate up (snapshot/broadcast/finish, or
+// before base changes wholesale, e.g. a new SVRG epoch anchor).
+func (l *lazyDrift) settleAll(w, base la.Vec) {
+	if !l.dirty {
+		return
+	}
+	for j := range w {
+		if d := l.cum - l.last[j]; d != 0 {
+			w[j] -= d * base[j]
+			l.last[j] = l.cum
+		}
+	}
+	l.dirty = false
+}

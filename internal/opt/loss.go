@@ -23,6 +23,31 @@ type Loss interface {
 	Name() string
 }
 
+// LinearLoss marks losses of the generalized linear form ℓ(x·w, y): the
+// per-sample gradient factors as GradCoeff(x·w, y)·x, touching exactly the
+// row's nonzero coordinates. This is what lets the sparse task path
+// accumulate gradients in O(nnz) instead of O(d) — see kernel.go.
+type LinearLoss interface {
+	Loss
+	// GradCoeff returns dℓ/d(x·w) evaluated at (dot, y).
+	GradCoeff(dot, y float64) float64
+}
+
+// splitLoss decomposes a loss into its linear core and an L2 coefficient:
+// LeastSquares and Logistic are their own cores with λ = 0, Ridge peels off
+// its penalty when the inner loss is linear. ok reports whether the sparse
+// task path can represent the loss at all; when it can and λ > 0, workers
+// ship inner-only gradients and the driver applies the shrinkage lazily
+// (see lazy.go).
+func splitLoss(loss Loss) (lin LinearLoss, lambda float64, ok bool) {
+	if r, isRidge := loss.(Ridge); isRidge {
+		lin, ok = r.Inner.(LinearLoss)
+		return lin, r.Lambda, ok && r.Lambda >= 0
+	}
+	lin, ok = loss.(LinearLoss)
+	return lin, 0, ok
+}
+
 // LeastSquares is the paper's experimental objective (Eq. 3/4):
 // ℓ = (x·w − y)², ∇ℓ = 2(x·w − y)x.
 type LeastSquares struct{}
@@ -38,6 +63,9 @@ func (LeastSquares) AddGrad(x la.SparseVec, y float64, w la.Vec, g la.Vec) {
 	r := x.DotDense(w) - y
 	x.AxpyDense(2*r, g)
 }
+
+// GradCoeff implements LinearLoss: ∇ℓ = 2(x·w − y)·x.
+func (LeastSquares) GradCoeff(dot, y float64) float64 { return 2 * (dot - y) }
 
 // Name implements Loss.
 func (LeastSquares) Name() string { return "least-squares" }
@@ -62,6 +90,14 @@ func (Logistic) AddGrad(x la.SparseVec, y float64, w la.Vec, g la.Vec) {
 	// σ(−m) = 1/(1+exp(m))
 	s := 1.0 / (1.0 + math.Exp(m))
 	x.AxpyDense(-y*s, g)
+}
+
+// GradCoeff implements LinearLoss: ∇ℓ = −y·σ(−y·x·w)·x. The arithmetic
+// mirrors AddGrad operation for operation so the sparse and dense task
+// paths produce bitwise-identical gradients.
+func (Logistic) GradCoeff(dot, y float64) float64 {
+	s := 1.0 / (1.0 + math.Exp(y*dot))
+	return -y * s
 }
 
 // Name implements Loss.

@@ -60,6 +60,13 @@ func (r *Recorder) record(elapsed time.Duration, updates int64, w la.Vec, final 
 	}
 }
 
+// Due reports whether Maybe(updates, …) would record a snapshot — drivers
+// with lazily deferred update terms check it so they settle the model only
+// when a snapshot will actually read it.
+func (r *Recorder) Due(updates int64) bool {
+	return r.every > 0 && updates%int64(r.every) == 0
+}
+
 // Maybe records a snapshot if the update count hits the cadence.
 func (r *Recorder) Maybe(updates int64, w la.Vec) {
 	if r.every > 0 && updates%int64(r.every) == 0 {

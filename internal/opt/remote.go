@@ -32,6 +32,12 @@ func init() {
 		if !ok {
 			return nil, fmt.Errorf("opt: %s args are %T", GradOpName, t.Args)
 		}
+		// args that arrive over a wire are validated here, at the op
+		// boundary — the kernel itself carries no range check (driver-side
+		// params fail in defaults() before any task is scheduled)
+		if a.Frac <= 0 || a.Frac > 1 {
+			return nil, fmt.Errorf("opt: %s sample fraction %v outside (0,1]", GradOpName, a.Frac)
+		}
 		loss, err := LossByName(a.Loss)
 		if err != nil {
 			return nil, err
@@ -65,6 +71,9 @@ func init() {
 		if !ok {
 			return nil, fmt.Errorf("opt: %s args are %T", SagaOpName, t.Args)
 		}
+		if a.Frac <= 0 || a.Frac > 1 {
+			return nil, fmt.Errorf("opt: %s sample fraction %v outside (0,1]", SagaOpName, a.Frac)
+		}
 		loss, err := LossByName(a.Loss)
 		if err != nil {
 			return nil, err
@@ -97,7 +106,10 @@ func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) 
 	rec.Force(0, st.w)
 	updates := int64(0)
 	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
+		wBr := ac.ASYNCbroadcastStamped("saga.w", updates, func() any {
+			st.settle()
+			return st.w.Clone()
+		})
 		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
 		if err != nil {
 			return nil, fmt.Errorf("opt: RemoteASAGA after %d updates: %w", updates, err)
@@ -116,23 +128,21 @@ func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) 
 			if err != nil {
 				break
 			}
-			part, ok := tr.Payload.(SagaPartial)
-			if !ok {
-				return nil, fmt.Errorf("opt: RemoteASAGA payload %T", tr.Payload)
-			}
 			alpha := p.Step.Alpha(updates)
 			if p.StalenessLR {
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
-			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
-				return nil, err
+			if err := applySagaPayload(st, alpha, tr.Payload, tr.Attrs.MiniBatch); err != nil {
+				return nil, fmt.Errorf("opt: RemoteASAGA: %w", err)
 			}
-			la.PutVec(part.Sum)
-			la.PutVec(part.HistSum)
 			updates = ac.AdvanceClock()
+			if rec.Due(updates) {
+				st.settle()
+			}
 			rec.Maybe(updates, st.w)
 		}
 	}
+	st.settle()
 	rec.Finish(updates, st.w)
 	drain(ac, 5*time.Second)
 	return &Result{Trace: newTrace(ac, "ASAGA-remote", d, rec, p.Loss, fstar), W: st.w}, nil
@@ -162,12 +172,16 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 		return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
 	}
 	w := la.NewVec(d.NumCols())
+	ap := newSGDApplier(&p, d.NumCols())
 	rec := p.recorder()
 	rec.Force(0, w)
 	updates := int64(0)
 	keep := 4 * ac.RDD().Cluster().NumWorkers()
 	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
+		wBr := ac.ASYNCbroadcastStamped("sgd.w", updates, func() any {
+			ap.settle(w)
+			return w.Clone()
+		})
 		ac.RDD().PruneBroadcast("sgd.w", keep)
 		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
 		if err != nil {
@@ -187,20 +201,21 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 			if err != nil {
 				break
 			}
-			g, ok := tr.Payload.(la.Vec)
-			if !ok {
-				return nil, fmt.Errorf("opt: RemoteASGD payload %T", tr.Payload)
-			}
 			alpha := p.Step.Alpha(updates)
 			if p.StalenessLR {
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
-			la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), g, w)
-			la.PutVec(g)
+			if err := ap.apply(w, tr.Payload, alpha, tr.Attrs.MiniBatch); err != nil {
+				return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
+			}
 			updates = ac.AdvanceClock()
+			if rec.Due(updates) {
+				ap.settle(w)
+			}
 			rec.Maybe(updates, w)
 		}
 	}
+	ap.settle(w)
 	rec.Finish(updates, w)
 	drain(ac, 5*time.Second)
 	res := &Result{Trace: newTrace(ac, "ASGD-remote", d, rec, p.Loss, fstar), W: w}

@@ -84,6 +84,15 @@ type tcpRig struct {
 
 func newTCPRig(t *testing.T, workers int) *tcpRig {
 	t.Helper()
+	return newTCPRigWith(t, workers, dataset.SynthConfig{
+		Name: "tcp-opt", Rows: 90, Cols: 6, NNZPerRow: 4, Noise: 0.05, Seed: 12,
+	})
+}
+
+// newTCPRigWith is newTCPRig over an arbitrary synthetic dataset (the
+// sparse-path tests need sparse shapes).
+func newTCPRigWith(t *testing.T, workers int, cfg dataset.SynthConfig) *tcpRig {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -117,16 +126,19 @@ func newTCPRig(t *testing.T, workers int) *tcpRig {
 		c.Shutdown()
 		_ = ln.Close()
 	})
-	d, err := dataset.Generate(dataset.SynthConfig{
-		Name: "tcp-opt", Rows: 90, Cols: 6, NNZPerRow: 4, Noise: 0.05, Seed: 12,
-	})
+	d, err := dataset.Generate(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fstar, err := ReferenceOptimum(d)
-	if err != nil {
-		t.Fatal(err)
+	var fstar float64
+	if cfg.Rows >= cfg.Cols {
+		if _, fstar, err = ReferenceOptimum(d); err != nil {
+			t.Fatal(err)
+		}
 	}
+	// wide (rows < cols) systems are near-interpolating: F* ≈ noise² ≈ 0,
+	// and the CG reference on the singular normal equations is unreliable,
+	// so convergence is asserted against 0
 	rctx := rdd.NewContext(c)
 	if _, err := rctx.Distribute(d, 2*workers); err != nil {
 		t.Fatal(err)

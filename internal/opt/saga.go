@@ -10,11 +10,17 @@ import (
 )
 
 // sagaState carries the driver-side SAGA accumulators shared by the
-// synchronous and asynchronous variants.
+// synchronous and asynchronous variants, plus the lazy-drift machinery of
+// the sparse-delta path: the dense −α·avgHist term of each update is
+// deferred per coordinate (avgHist itself moves only at touched
+// coordinates, so the skipped contributions telescope into
+// (Σα − lastSettled_j)·avgHist[j]) and settled on snapshot, broadcast,
+// finish, or a dense partial.
 type sagaState struct {
 	w       la.Vec
 	avgHist la.Vec // running average of historical gradients
 	n       float64
+	drift   lazyDrift
 }
 
 func newSagaState(cols, rows int) *sagaState {
@@ -24,6 +30,9 @@ func newSagaState(cols, rows int) *sagaState {
 		n:       float64(rows),
 	}
 }
+
+// settle flushes the deferred avgHist drift so w is externally consistent.
+func (s *sagaState) settle() { s.drift.settleAll(s.w, s.avgHist) }
 
 // init applies warm starts from Params (checkpoint resume).
 func (s *sagaState) init(p Params) error {
@@ -55,6 +64,9 @@ func (s *sagaState) apply(alpha float64, part SagaPartial, batch int) error {
 	if len(part.Sum) != len(s.w) || len(part.HistSum) != len(s.w) {
 		return fmt.Errorf("opt: SAGA partial dims (%d,%d) != %d", len(part.Sum), len(part.HistSum), len(s.w))
 	}
+	// a dense update reads and eagerly applies avgHist everywhere, so any
+	// deferred drift must land first
+	s.settle()
 	// One fused pass instead of four BLAS-1 sweeps: d = ΣgCur − ΣgHist,
 	// w −= α·(d/b + avgHist), avgHist += d/n (Algorithm 4 lines 8–9).
 	ab := alpha / float64(batch)
@@ -63,6 +75,48 @@ func (s *sagaState) apply(alpha float64, part SagaPartial, batch int) error {
 	for j := range w {
 		d := part.Sum[j] - part.HistSum[j]
 		w[j] -= ab*d + alpha*avg[j]
+		avg[j] += d * invN
+	}
+	return nil
+}
+
+// applyDelta is the O(nnz) flavour of apply for a sparse partial: touched
+// coordinates are settled through this update (including its own −α·avgHist
+// term, read before avgHist moves, matching the dense order of operations)
+// and every untouched coordinate's drift stays deferred.
+func (s *sagaState) applyDelta(alpha float64, part SagaDelta, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("opt: SAGA partial with batch %d", batch)
+	}
+	if part.Sum == nil || part.HistSum == nil || part.Sum.N != len(s.w) || part.HistSum.N != len(s.w) {
+		return fmt.Errorf("opt: SAGA sparse partial dims != %d", len(s.w))
+	}
+	s.drift.ensure(len(s.w))
+	s.drift.advance(alpha)
+	ab := alpha / float64(batch)
+	invN := 1 / s.n
+	w, avg := s.w, s.avgHist
+	// merged walk over the two supports (each sorted, possibly different:
+	// rows with no recorded history contribute no historical gradient)
+	S, H := part.Sum, part.HistSum
+	si, hi := 0, 0
+	for si < len(S.Idx) || hi < len(H.Idx) {
+		var j int32
+		var d float64
+		switch {
+		case hi >= len(H.Idx) || (si < len(S.Idx) && S.Idx[si] < H.Idx[hi]):
+			j, d = S.Idx[si], S.Val[si]
+			si++
+		case si >= len(S.Idx) || H.Idx[hi] < S.Idx[si]:
+			j, d = H.Idx[hi], -H.Val[hi]
+			hi++
+		default:
+			j, d = S.Idx[si], S.Val[si]-H.Val[hi]
+			si++
+			hi++
+		}
+		s.drift.settleCoord(w, avg, j)
+		w[j] -= ab * d
 		avg[j] += d * invN
 	}
 	return nil
@@ -99,14 +153,24 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 			if err != nil {
 				break
 			}
-			part, ok := tr.Payload.(SagaPartial)
-			if !ok {
+			switch part := tr.Payload.(type) {
+			case SagaPartial:
+				la.Axpy(1, part.Sum, combined.Sum)
+				la.Axpy(1, part.HistSum, combined.HistSum)
+				la.PutVec(part.Sum)
+				la.PutVec(part.HistSum)
+			case SagaDelta:
+				// sparse partials expand into the round accumulator; the
+				// round's single apply stays dense (BSP rounds are O(d) on
+				// the driver regardless — the sparse win here is worker
+				// compute and wire bytes)
+				part.Sum.AxpyDense(1, combined.Sum)
+				part.HistSum.AxpyDense(1, combined.HistSum)
+				la.PutDelta(part.Sum)
+				la.PutDelta(part.HistSum)
+			default:
 				return nil, fmt.Errorf("opt: SAGA payload %T", tr.Payload)
 			}
-			la.Axpy(1, part.Sum, combined.Sum)
-			la.Axpy(1, part.HistSum, combined.HistSum)
-			la.PutVec(part.Sum)
-			la.PutVec(part.HistSum)
 			total += tr.Attrs.MiniBatch
 		}
 		if total == 0 {
@@ -144,7 +208,10 @@ func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resu
 	rec.Force(0, st.w)
 	updates := int64(0)
 	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
+		wBr := ac.ASYNCbroadcastStamped("saga.w", updates, func() any {
+			st.settle()
+			return st.w.Clone()
+		})
 		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
 		if err != nil {
 			return nil, fmt.Errorf("opt: ASAGA after %d updates: %w", updates, err)
@@ -157,24 +224,41 @@ func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resu
 			if err != nil {
 				break
 			}
-			part, ok := tr.Payload.(SagaPartial)
-			if !ok {
-				return nil, fmt.Errorf("opt: ASAGA payload %T", tr.Payload)
-			}
 			alpha := p.Step.Alpha(updates)
 			if p.StalenessLR {
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
-			if err := st.apply(alpha, part, tr.Attrs.MiniBatch); err != nil {
-				return nil, err
+			if err := applySagaPayload(st, alpha, tr.Payload, tr.Attrs.MiniBatch); err != nil {
+				return nil, fmt.Errorf("opt: ASAGA: %w", err)
 			}
-			la.PutVec(part.Sum)
-			la.PutVec(part.HistSum)
 			updates = ac.AdvanceClock()
+			if rec.Due(updates) {
+				st.settle()
+			}
 			rec.Maybe(updates, st.w)
 		}
 	}
+	st.settle()
 	rec.Finish(updates, st.w)
 	drain(ac, 5*time.Second)
 	return &Result{Trace: newTrace(ac, "ASAGA", d, rec, p.Loss, fstar), W: st.w}, nil
+}
+
+// applySagaPayload dispatches a collected partial to the dense or sparse
+// apply and recycles its pooled storage.
+func applySagaPayload(st *sagaState, alpha float64, payload any, batch int) error {
+	switch part := payload.(type) {
+	case SagaPartial:
+		err := st.apply(alpha, part, batch)
+		la.PutVec(part.Sum)
+		la.PutVec(part.HistSum)
+		return err
+	case SagaDelta:
+		err := st.applyDelta(alpha, part, batch)
+		la.PutDelta(part.Sum)
+		la.PutDelta(part.HistSum)
+		return err
+	default:
+		return fmt.Errorf("unexpected SAGA payload %T", payload)
+	}
 }

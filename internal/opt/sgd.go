@@ -157,6 +157,7 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 		return nil, err
 	}
 	st := newStepper(p.Momentum, d.NumCols())
+	_, lambda, _ := splitLoss(p.Loss)
 	rec := p.recorder()
 	rec.Force(0, w)
 	gSum := la.NewVec(d.NumCols())
@@ -173,22 +174,33 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 			return nil, err
 		}
 		gSum.Zero()
-		total := 0
+		total, sparseBatch := 0, 0
 		for i := 0; i < n; i++ {
 			tr, err := ac.ASYNCcollectAll()
 			if err != nil {
 				break // remaining partials were empty samples
 			}
-			g, ok := tr.Payload.(la.Vec)
-			if !ok {
+			switch g := tr.Payload.(type) {
+			case la.Vec:
+				la.Axpy(1, g, gSum)
+				la.PutVec(g) // recycle the pooled task accumulator
+			case *la.DeltaVec:
+				// sparse partials carry the inner gradient only; their λ·w
+				// terms are restored once per round below (under BSP the
+				// workers' model is exactly w, so this is the dense math)
+				g.AxpyDense(1, gSum)
+				la.PutDelta(g)
+				sparseBatch += tr.Attrs.MiniBatch
+			default:
 				return nil, fmt.Errorf("opt: SyncSGD payload %T", tr.Payload)
 			}
-			la.Axpy(1, g, gSum)
-			la.PutVec(g) // recycle the pooled task accumulator
 			total += tr.Attrs.MiniBatch
 		}
 		if total == 0 {
 			continue // every worker sampled zero rows; retry round
+		}
+		if lambda > 0 && sparseBatch > 0 {
+			la.Axpy(float64(sparseBatch)*lambda, w, gSum)
 		}
 		st.apply(w, gSum, p.Step.Alpha(k)/float64(total))
 		upd := ac.AdvanceClock()
@@ -211,7 +223,7 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	st := newStepper(p.Momentum, d.NumCols())
+	ap := newSGDApplier(&p, d.NumCols())
 	rec := p.recorder()
 	rec.Force(0, w)
 	updates := int64(0)
@@ -220,7 +232,13 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	// (no history reads)
 	keep := 4 * ac.RDD().Cluster().NumWorkers()
 	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
+		// versioned broadcast: if no update landed since the last loop
+		// iteration the previous (id, version) handle is reused, workers
+		// hit their caches, and no clone is taken
+		wBr := ac.ASYNCbroadcastStamped("sgd.w", updates, func() any {
+			ap.settle(w)
+			return w.Clone()
+		})
 		ac.RDD().PruneBroadcast("sgd.w", keep)
 		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
 		if err != nil {
@@ -236,20 +254,21 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 			if err != nil {
 				break
 			}
-			g, ok := tr.Payload.(la.Vec)
-			if !ok {
-				return nil, fmt.Errorf("opt: ASGD payload %T", tr.Payload)
-			}
 			alpha := p.Step.Alpha(updates)
 			if p.StalenessLR {
 				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 			}
-			st.apply(w, g, alpha/float64(tr.Attrs.MiniBatch))
-			la.PutVec(g)
+			if err := ap.apply(w, tr.Payload, alpha, tr.Attrs.MiniBatch); err != nil {
+				return nil, fmt.Errorf("opt: ASGD: %w", err)
+			}
 			updates = ac.AdvanceClock()
+			if rec.Due(updates) {
+				ap.settle(w)
+			}
 			rec.Maybe(updates, w)
 		}
 	}
+	ap.settle(w)
 	rec.Finish(updates, w)
 	drain(ac, 5*time.Second)
 	return &Result{Trace: newTrace(ac, "ASGD", d, rec, p.Loss, fstar), W: w}, nil

@@ -35,9 +35,13 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 	rec := p.recorder()
 	rec.Force(0, w)
 	mu := la.NewVec(d.NumCols())
+	// deferred −α·μ drift of the sparse inner-update path; μ is constant
+	// within an epoch, so the drift must be settled before each re-anchor
+	var drift lazyDrift
 	updates := int64(0)
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		// --- synchronous full pass at the anchor (Spark-style reduce) ---
+		drift.settleAll(w, mu)
 		anchor := w.Clone()
 		anchorBr := ac.ASYNCbroadcastEager("vr.anchor", anchor)
 		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
@@ -67,7 +71,10 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 		// --- asynchronous inner loop ---
 		target := updates + int64(p.UpdatesPerEpoch)
 		for updates < target {
-			wBr := ac.ASYNCbroadcast("vr.w", w.Clone())
+			wBr := ac.ASYNCbroadcastStamped("vr.w", updates, func() any {
+				drift.settleAll(w, mu)
+				return w.Clone()
+			})
 			sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
 			if err != nil {
 				return nil, fmt.Errorf("opt: EpochVR inner: %w", err)
@@ -80,24 +87,42 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 				if err != nil {
 					break
 				}
-				diff, ok := tr.Payload.(la.Vec)
-				if !ok {
-					return nil, fmt.Errorf("opt: EpochVR payload %T", tr.Payload)
-				}
 				alpha := p.Step.Alpha(updates)
 				if p.StalenessLR {
 					alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 				}
-				la.Axpy(-alpha/float64(tr.Attrs.MiniBatch), diff, w)
-				la.Axpy(-alpha, mu, w)
-				la.PutVec(diff)
+				ab := alpha / float64(tr.Attrs.MiniBatch)
+				switch diff := tr.Payload.(type) {
+				case la.Vec:
+					drift.settleAll(w, mu)
+					la.Axpy(-ab, diff, w)
+					la.Axpy(-alpha, mu, w)
+					la.PutVec(diff)
+				case *la.DeltaVec:
+					// O(nnz): the sparse variance-reduced step touches only
+					// the sampled rows' support; the dense −α·μ term is
+					// deferred per coordinate
+					drift.ensure(len(w))
+					drift.advance(alpha)
+					for k, j := range diff.Idx {
+						drift.settleCoord(w, mu, j)
+						w[j] -= ab * diff.Val[k]
+					}
+					la.PutDelta(diff)
+				default:
+					return nil, fmt.Errorf("opt: EpochVR payload %T", tr.Payload)
+				}
 				updates = ac.AdvanceClock()
+				if rec.Due(updates) {
+					drift.settleAll(w, mu)
+				}
 				rec.Maybe(updates, w)
 			}
 		}
 		// drain stragglers from this epoch before re-anchoring
 		drain(ac, 5*time.Second)
 	}
+	drift.settleAll(w, mu)
 	rec.Finish(updates, w)
 	return &Result{Trace: newTrace(ac, "EpochVR", d, rec, p.Loss, fstar), W: w}, nil
 }

@@ -64,19 +64,39 @@ func init() {
 }
 
 // SparseGradKernel is GradKernel with top-k sparsification of the locally
-// reduced gradient before submission.
+// reduced gradient before submission. It always runs the dense sweep —
+// top-k selection needs the complete local gradient (including any L2
+// term a regularized loss folds in per sample), so the adaptive
+// sparse-delta path of GradKernel does not apply here; the payload that
+// crosses the wire is sparse regardless.
 func SparseGradKernel(loss Loss, wBr core.DynBroadcast, frac float64, k int) core.Kernel {
-	dense := GradKernel(loss, wBr, frac)
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
-		v, n, err := dense(env, parts, seed)
-		if err != nil || v == nil {
-			return v, n, err
-		}
-		g, err := asVec(v)
+		wv, err := wBr.Value(env)
 		if err != nil {
 			return nil, 0, err
 		}
-		return TopK(g, k), n, nil
+		w, err := asVec(wv)
+		if err != nil {
+			return nil, 0, err
+		}
+		g := la.GetVec(len(w))
+		rng := env.Scratch().Rand(seed)
+		n := 0
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				la.PutVec(g)
+				return nil, 0, err
+			}
+			n += gradSweep(loss, p, rng, frac, w, g)
+		}
+		if n == 0 {
+			la.PutVec(g)
+			return nil, 0, nil
+		}
+		sv := TopK(g, k)
+		la.PutVec(g) // TopK copies; the accumulator goes back to the pool
+		return sv, n, nil
 	}
 }
 
