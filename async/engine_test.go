@@ -308,3 +308,62 @@ func TestEngineBarrierDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointEveryAndSolveFrom covers the mid-run checkpoint surface of
+// the facade: an engine-wide WithCheckpointEvery default feeds every
+// solve's OnCheckpoint observer, and SolveFrom resumes the captured
+// driver state (the resumed trace picks up at the checkpoint's clock and
+// runs out the remaining global budget).
+func TestCheckpointEveryAndSolveFrom(t *testing.T) {
+	eng, err := async.New(
+		async.WithWorkers(1),
+		async.WithPartitions(2),
+		async.WithCheckpointEvery(20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 5)
+
+	var cps []*opt.Checkpoint
+	opts := async.SolveOptions{Params: tinyParams(60)}
+	opts.Params.OnCheckpoint = func(cp *opt.Checkpoint) { cps = append(cps, cp) }
+	res, err := eng.Solve(context.Background(), "asgd", d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 3 {
+		t.Fatalf("engine cadence 20 over 60 updates captured %d checkpoints, want 3", len(cps))
+	}
+	mid := cps[1]
+	if mid.Algorithm != "asgd" || mid.Updates != 40 {
+		t.Fatalf("checkpoint %+v, want asgd@40", mid)
+	}
+
+	resumed, err := eng.SolveFrom(context.Background(), mid, d, async.SolveOptions{Params: tinyParams(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Trace.Points[0].Updates; got != 40 {
+		t.Fatalf("resumed trace starts at %d, want 40", got)
+	}
+	if got := resumed.Trace.Points[len(resumed.Trace.Points)-1].Updates; got != 60 {
+		t.Fatalf("resumed trace ends at %d, want 60", got)
+	}
+	if len(resumed.W) != len(res.W) {
+		t.Fatalf("resumed model dim %d != %d", len(resumed.W), len(res.W))
+	}
+
+	// validation paths
+	if _, err := eng.SolveFrom(context.Background(), nil, d, async.SolveOptions{Params: tinyParams(60)}); err == nil {
+		t.Fatal("SolveFrom(nil) accepted")
+	}
+	if _, err := eng.SolveFrom(context.Background(), &opt.Checkpoint{Algorithm: "asgd"}, d, async.SolveOptions{Params: tinyParams(60)}); err == nil {
+		t.Fatal("invalid checkpoint accepted")
+	}
+	if eng2, err := async.New(async.WithCheckpointEvery(-1)); err == nil {
+		eng2.Close()
+		t.Fatal("WithCheckpointEvery(-1) accepted")
+	}
+}

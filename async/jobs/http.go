@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,17 +9,21 @@ import (
 
 	"repro/async"
 	"repro/internal/dataset"
+	"repro/internal/opt"
 )
 
 // NewHandler exposes a scheduler as a JSON/HTTP API:
 //
-//	POST   /v1/jobs             submit a Spec, returns {"id": ...} (202)
-//	GET    /v1/jobs             list job snapshots
-//	GET    /v1/jobs/{id}        one job snapshot
-//	GET    /v1/jobs/{id}/events live event stream (Server-Sent Events)
-//	DELETE /v1/jobs/{id}        cancel (202)
-//	GET    /v1/healthz          liveness + capacity summary
-//	GET    /v1/metrics          serving counters (Stats)
+//	POST   /v1/jobs                 submit a Spec, returns {"id": ...} (202);
+//	                                "resume_from" resumes another job's checkpoint
+//	GET    /v1/jobs                 list job snapshots
+//	GET    /v1/jobs/{id}            one job snapshot
+//	GET    /v1/jobs/{id}/events     live event stream (Server-Sent Events)
+//	POST   /v1/jobs/{id}/preempt    checkpoint the running job aside (202)
+//	GET    /v1/jobs/{id}/checkpoint latest driver checkpoint (binary format)
+//	DELETE /v1/jobs/{id}            cancel (202)
+//	GET    /v1/healthz              liveness + capacity summary
+//	GET    /v1/metrics              serving counters (Stats)
 //
 // The handler owns no lifecycle: closing the scheduler is the caller's
 // job. Every error body is {"error": "..."}.
@@ -59,6 +64,36 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{"canceled": r.PathValue("id")})
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/preempt", func(w http.ResponseWriter, r *http.Request) {
+		id := ID(r.PathValue("id"))
+		switch err := s.Preempt(id); {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotRunning):
+			httpError(w, http.StatusConflict, err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]any{"preempted": id})
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		cp, err := s.Checkpoint(ID(r.PathValue("id")))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		// serialize before writing the header so a save failure can still
+		// surface as an error status rather than a truncated 200 body
+		var buf bytes.Buffer
+		if err := opt.SaveCheckpoint(&buf, cp); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		id := ID(r.PathValue("id"))

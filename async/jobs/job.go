@@ -7,6 +7,7 @@ import (
 
 	"repro/async"
 	"repro/internal/metrics"
+	"repro/internal/opt"
 )
 
 // ID identifies a submitted job.
@@ -15,13 +16,17 @@ type ID string
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle states: queued → running → done | failed | canceled.
+// Job lifecycle states: queued → running → done | failed | canceled, with
+// running → preempted → running excursions when the scheduler takes the
+// engine away mid-run (the job holds a checkpoint and waits, queued, to be
+// resumed).
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StatePreempted State = "preempted"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
 )
 
 // Terminal reports whether the state is final.
@@ -33,13 +38,18 @@ func (s State) Terminal() bool {
 type EventType string
 
 // Event types: one per state transition plus in-run progress samples.
+// EventPreempted marks a mid-run checkpoint capture that returned the
+// engine to the pool; EventResumed marks the job re-dispatching from that
+// checkpoint.
 const (
-	EventQueued   EventType = "queued"
-	EventStarted  EventType = "started"
-	EventProgress EventType = "progress"
-	EventDone     EventType = "done"
-	EventFailed   EventType = "failed"
-	EventCanceled EventType = "canceled"
+	EventQueued    EventType = "queued"
+	EventStarted   EventType = "started"
+	EventProgress  EventType = "progress"
+	EventPreempted EventType = "preempted"
+	EventResumed   EventType = "resumed"
+	EventDone      EventType = "done"
+	EventFailed    EventType = "failed"
+	EventCanceled  EventType = "canceled"
 )
 
 // Event is one entry of a job's progress stream.
@@ -83,6 +93,15 @@ type Job struct {
 	// QueueWaitMS is the time the job spent queued before dispatch (so
 	// far, for jobs still queued).
 	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Preemptions counts how many times the job was checkpointed aside for
+	// a higher-priority job (or an explicit Preempt call).
+	Preemptions int `json:"preemptions,omitempty"`
+	// HasCheckpoint reports whether a driver checkpoint is retrievable for
+	// the job (periodic cadence or preemption capture).
+	HasCheckpoint bool `json:"has_checkpoint,omitempty"`
+	// ResumedFrom names the job whose checkpoint seeded this one (Spec
+	// resume_from submissions).
+	ResumedFrom ID `json:"resumed_from,omitempty"`
 }
 
 // job is the scheduler-internal record; all fields are guarded by the
@@ -111,6 +130,16 @@ type job struct {
 	cancelRequested bool
 	done            chan struct{}
 
+	// preemption state: the signal polled by the running solver, the
+	// latest captured checkpoint (periodic or preemption), and whether a
+	// preempt has been requested but not yet unwound.
+	preempt      *opt.PreemptSignal
+	cp           *opt.Checkpoint
+	preempting   bool
+	preemptAsked time.Time
+	preemptions  int
+	resumedFrom  ID
+
 	events   []Event
 	eventSeq int
 	subs     []chan Event
@@ -118,23 +147,32 @@ type job struct {
 
 func (j *job) snapshot() Job {
 	s := Job{
-		ID:         j.id,
-		Spec:       j.spec,
-		State:      j.state,
-		Engine:     j.engine,
-		Err:        j.err,
-		Queued:     j.queued,
-		Started:    j.started,
-		Finished:   j.finished,
-		Updates:    j.updates,
-		FinalError: j.finalErr,
-		Wait:       j.wait,
+		ID:            j.id,
+		Spec:          j.spec,
+		State:         j.state,
+		Engine:        j.engine,
+		Err:           j.err,
+		Queued:        j.queued,
+		Started:       j.started,
+		Finished:      j.finished,
+		Updates:       j.updates,
+		FinalError:    j.finalErr,
+		Wait:          j.wait,
+		Preemptions:   j.preemptions,
+		HasCheckpoint: j.cp != nil,
+		ResumedFrom:   j.resumedFrom,
 	}
 	switch {
-	case !j.started.IsZero():
-		s.QueueWaitMS = float64(j.started.Sub(j.queued).Microseconds()) / 1000.0
-	case j.state == StateQueued:
+	case j.state == StateQueued || j.state == StatePreempted:
+		// live wait; a preempted job's queued stamp restarts at preemption
+		// (started still holds the previous dispatch, so it must not win)
 		s.QueueWaitMS = float64(time.Since(j.queued).Microseconds()) / 1000.0
+	case !j.started.IsZero() && !j.started.Before(j.queued):
+		s.QueueWaitMS = float64(j.started.Sub(j.queued).Microseconds()) / 1000.0
+	case !j.finished.IsZero():
+		// canceled while waiting after a preemption (queued stamp is later
+		// than the old start): report the wait from requeue to finalize
+		s.QueueWaitMS = float64(j.finished.Sub(j.queued).Microseconds()) / 1000.0
 	}
 	return s
 }

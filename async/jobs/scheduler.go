@@ -23,6 +23,11 @@ var (
 	ErrUnknownJob = errors.New("jobs: unknown job")
 	// ErrClosed is returned by operations on a closed scheduler.
 	ErrClosed = errors.New("jobs: scheduler is closed")
+	// ErrNotRunning is returned by Preempt for a job that holds no engine.
+	ErrNotRunning = errors.New("jobs: job is not running")
+	// ErrNoCheckpoint is returned when a job holds no retrievable
+	// checkpoint (no cadence configured and never preempted).
+	ErrNoCheckpoint = errors.New("jobs: job has no checkpoint")
 )
 
 // eventBuffer is the per-subscriber channel slack beyond history replay;
@@ -87,6 +92,7 @@ type Stats struct {
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
+	Preempted int64 `json:"preempted"`
 
 	Queued      int `json:"queued"`
 	Running     int `json:"running"`
@@ -125,6 +131,7 @@ type Scheduler struct {
 
 	submitted, rejected     int64
 	doneN, failedN, killedN int64
+	preemptedN              int64
 	startedN                int64
 	queueWaitTotal          time.Duration
 	queueWaitMax            time.Duration
@@ -145,8 +152,33 @@ func New(cfg Config) (*Scheduler, error) {
 }
 
 // Submit validates and enqueues a job, returning its ID immediately. The
-// queue is bounded: ErrQueueFull signals backpressure.
+// queue is bounded: ErrQueueFull signals backpressure. A spec naming
+// ResumeFrom is seeded with the source job's latest checkpoint (algorithm,
+// dataset and update budget default to the source's when unset).
 func (s *Scheduler) Submit(spec Spec) (ID, error) {
+	var cp *opt.Checkpoint
+	var src ID
+	if spec.ResumeFrom != "" {
+		s.mu.Lock()
+		from, ok := s.jobs[spec.ResumeFrom]
+		if !ok {
+			s.mu.Unlock()
+			return "", fmt.Errorf("%w: resume_from %s", ErrUnknownJob, spec.ResumeFrom)
+		}
+		if from.cp == nil {
+			s.mu.Unlock()
+			return "", fmt.Errorf("%w: resume_from %s", ErrNoCheckpoint, spec.ResumeFrom)
+		}
+		cp, src = from.cp, from.id
+		// unset fields inherit the source job's spec wholesale — a resumed
+		// run must continue the same objective and hyperparameters, not
+		// reset them to global defaults
+		spec = spec.withResumeBase(from.spec)
+		if spec.Algorithm == "" {
+			spec.Algorithm = cp.Algorithm
+		}
+		s.mu.Unlock()
+	}
 	if err := spec.normalize(); err != nil {
 		return "", err
 	}
@@ -162,30 +194,74 @@ func (s *Scheduler) Submit(spec Spec) (ID, error) {
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:      ID(fmt.Sprintf("job-%06d", s.seq)),
-		spec:    spec,
-		dataKey: spec.Dataset.Key(),
-		seq:     s.seq,
-		state:   StateQueued,
-		engine:  -1,
-		queued:  time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
+		id:          ID(fmt.Sprintf("job-%06d", s.seq)),
+		spec:        spec,
+		dataKey:     spec.Dataset.Key(),
+		seq:         s.seq,
+		state:       StateQueued,
+		engine:      -1,
+		queued:      time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		cp:          cp,
+		resumedFrom: src,
 	}
 	s.jobs[j.id] = j
-	// insert after the last job with priority >= ours: priority order,
-	// FIFO within a level
-	at := sort.Search(len(s.queue), func(i int) bool {
-		return s.queue[i].spec.Priority < spec.Priority
-	})
-	s.queue = append(s.queue, nil)
-	copy(s.queue[at+1:], s.queue[at:])
-	s.queue[at] = j
+	s.enqueueLocked(j)
 	s.submitted++
 	s.emitLocked(j, EventQueued, "")
 	s.dispatchLocked()
 	return j.id, nil
+}
+
+// enqueueLocked inserts after the last job with priority >= ours: priority
+// order, FIFO within a level.
+func (s *Scheduler) enqueueLocked(j *job) {
+	at := sort.Search(len(s.queue), func(i int) bool {
+		return s.queue[i].spec.Priority < j.spec.Priority
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[at+1:], s.queue[at:])
+	s.queue[at] = j
+}
+
+// Preempt asks a running job to stop at its next update boundary: the
+// solver captures a checkpoint, the engine returns to the pool, and the job
+// re-enters the queue in StatePreempted, resuming from the checkpoint when
+// an engine frees up. Preemption is cooperative — every registry solver
+// polls the signal through the driver runtime, but a custom solver that
+// ignores Params.Preempt simply runs to completion. Preempting a job that
+// is not running fails with ErrNotRunning.
+func (s *Scheduler) Preempt(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if j.state != StateRunning {
+		return fmt.Errorf("%w: %s is %s", ErrNotRunning, id, j.state)
+	}
+	j.preempting = true
+	j.preemptAsked = time.Now()
+	j.preempt.Trigger()
+	return nil
+}
+
+// Checkpoint returns the job's latest captured checkpoint (periodic
+// cadence or preemption capture).
+func (s *Scheduler) Checkpoint(id ID) (*opt.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.cp == nil {
+		return nil, ErrNoCheckpoint
+	}
+	return j.cp, nil
 }
 
 // Status returns a snapshot of the job.
@@ -260,7 +336,7 @@ func (s *Scheduler) Cancel(id ID) error {
 		return ErrUnknownJob
 	}
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StatePreempted:
 		for i, q := range s.queue {
 			if q == j {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
@@ -321,6 +397,7 @@ func (s *Scheduler) Stats() Stats {
 		Done:       s.doneN,
 		Failed:     s.failedN,
 		Canceled:   s.killedN,
+		Preempted:  s.preemptedN,
 		Queued:     len(s.queue),
 		EnginesMax: s.cfg.Engines,
 		QueueDepth: s.cfg.QueueDepth,
@@ -384,10 +461,14 @@ func (s *Scheduler) Close() error {
 // already holds wins that engine, ahead of the queue head — bounded
 // queue-jumping that saves a Release+Distribute. Otherwise the head job
 // takes an empty engine, a lazily spun-up one, or the LRU idle engine.
+// When the head would otherwise wait behind strictly-lower-priority work,
+// the lowest-priority running job is preempted (checkpointed aside) to
+// free its engine.
 func (s *Scheduler) dispatchLocked() {
 	for !s.closed && len(s.queue) > 0 {
 		sl, j := s.pickLocked()
 		if j == nil {
+			s.maybePreemptLocked()
 			return
 		}
 		for i, q := range s.queue {
@@ -397,8 +478,10 @@ func (s *Scheduler) dispatchLocked() {
 			}
 		}
 		sl.busy = true
+		resumed := j.state == StatePreempted
 		j.state = StateRunning
 		j.engine = sl.id
+		j.preempt = opt.NewPreemptSignal() // fresh per dispatch; Preempt targets it
 		j.started = time.Now()
 		wait := j.started.Sub(j.queued)
 		s.queueWaitTotal += wait
@@ -406,10 +489,59 @@ func (s *Scheduler) dispatchLocked() {
 			s.queueWaitMax = wait
 		}
 		s.startedN++
-		s.emitLocked(j, EventStarted, "")
+		if resumed {
+			s.emitLocked(j, EventResumed, "")
+		} else {
+			s.emitLocked(j, EventStarted, "")
+		}
 		s.wg.Add(1)
 		go s.run(sl, j)
 	}
+}
+
+// preemptGrace bounds how long an unanswered preemption blocks further
+// preemption decisions: preemption is cooperative (the driver runtime
+// polls Params.Preempt at update boundaries), so a custom solver that
+// ignores the signal would otherwise pin the single-preemption-in-flight
+// guard for its whole run. Past the grace the job is treated as
+// non-cooperating: it no longer blocks, and is skipped as a victim.
+const preemptGrace = 10 * time.Second
+
+// maybePreemptLocked frees an engine for the queue head by preempting the
+// lowest-priority running job whose priority is strictly below the head's.
+// At most one responsive preemption is in flight at a time: the freed
+// engine re-enters dispatch when the preempted run unwinds, which
+// re-evaluates the queue.
+func (s *Scheduler) maybePreemptLocked() {
+	if len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	var victim *job
+	for _, j := range s.jobs {
+		if j.state != StateRunning {
+			continue
+		}
+		if j.preempting {
+			if time.Since(j.preemptAsked) < preemptGrace {
+				return // a preemption is already unwinding
+			}
+			continue // non-cooperating solver: don't re-pick, don't block
+		}
+		if j.spec.Priority >= head.spec.Priority {
+			continue
+		}
+		if victim == nil || j.spec.Priority < victim.spec.Priority ||
+			(j.spec.Priority == victim.spec.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.preempting = true
+	victim.preemptAsked = time.Now()
+	victim.preempt.Trigger()
 }
 
 func (s *Scheduler) pickLocked() (*slot, *job) {
@@ -468,7 +600,8 @@ func (s *Scheduler) pickLocked() (*slot, *job) {
 	return best, j
 }
 
-// run executes one job on its assigned slot and re-enters dispatch.
+// run executes one job on its assigned slot and re-enters dispatch. A
+// preempted run re-queues with its checkpoint instead of finalizing.
 func (s *Scheduler) run(sl *slot, j *job) {
 	defer s.wg.Done()
 	res, err := s.execute(sl, j)
@@ -477,6 +610,27 @@ func (s *Scheduler) run(sl *slot, j *job) {
 	sl.busy = false
 	s.useSeq++
 	sl.lastUsed = s.useSeq
+	var pe *opt.PreemptedError
+	if errors.As(err, &pe) && !j.cancelRequested && !s.closed {
+		j.preempting = false
+		j.preemptions++
+		s.preemptedN++
+		j.cp = pe.Checkpoint
+		j.state = StatePreempted
+		j.engine = -1
+		j.queued = time.Now() // queue-wait accounting restarts here
+		s.enqueueLocked(j)
+		ev := s.newEventLocked(j, EventPreempted, "")
+		ev.Updates = pe.Checkpoint.Updates
+		s.deliverLocked(j, ev)
+		j.updates = pe.Checkpoint.Updates
+		s.dispatchLocked()
+		return
+	}
+	if errors.As(err, &pe) {
+		// preempted but also canceled/closing: fold into cancellation
+		err = context.Canceled
+	}
 	s.finalizeLocked(j, res, err)
 	s.dispatchLocked()
 }
@@ -525,6 +679,28 @@ func (s *Scheduler) execute(sl *slot, j *job) (*async.Result, error) {
 	fstar := opts.FStar
 	opts.Params.OnProgress = func(p opt.Progress) {
 		s.progress(j, p, ds, loss, fstar)
+	}
+	// preemption + checkpoint plumbing: the dispatch-time signal (created
+	// under the scheduler lock, so Preempt always has a target), the latest
+	// capture retained on the job, and — after a preemption or a
+	// resume_from submission — the driver state imported from the held
+	// checkpoint
+	s.mu.Lock()
+	sig := j.preempt
+	resume := j.cp
+	s.mu.Unlock()
+	opts.Params.Preempt = sig
+	// always wired: it only fires when a cadence is active, which may come
+	// from the spec or from an engine-level WithCheckpointEvery default
+	opts.Params.OnCheckpoint = func(cp *opt.Checkpoint) {
+		s.mu.Lock()
+		if j.state == StateRunning {
+			j.cp = cp
+		}
+		s.mu.Unlock()
+	}
+	if resume != nil {
+		opts.Params.Resume = resume
 	}
 	return sl.eng.Solve(j.ctx, j.spec.Algorithm, ds, opts)
 }

@@ -151,7 +151,22 @@ type Spec struct {
 	StalenessLR bool `json:"staleness_lr,omitempty"`
 
 	// Priority orders the queue: higher runs first, FIFO within a level.
+	// A strictly-higher-priority job that would otherwise wait preempts the
+	// lowest-priority running job (checkpointed aside, resumed later).
 	Priority int `json:"priority,omitempty"`
+
+	// CheckpointEvery captures a driver checkpoint every that many model
+	// updates; the latest is retrievable via the scheduler (and the
+	// /v1/jobs/{id}/checkpoint endpoint). Preemption captures one
+	// regardless.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// ResumeFrom resumes from the named job's latest checkpoint. Every
+	// field left unset inherits the source job's spec (objective, schedule,
+	// sampling, barrier, budget, priority), so a bare resume_from continues
+	// the exact run; the source must still be retained and hold a
+	// checkpoint.
+	ResumeFrom ID `json:"resume_from,omitempty"`
 
 	// FStar is the reference optimum f(w*) subtracted from progress and
 	// trace errors; AutoFStar computes (and caches per dataset) the
@@ -197,6 +212,9 @@ func (sp *Spec) normalize() error {
 	if sp.SnapshotEvery < 0 {
 		return fmt.Errorf("jobs: snapshot_every %d must be positive", sp.SnapshotEvery)
 	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("jobs: checkpoint_every %d must be non-negative", sp.CheckpointEvery)
+	}
 	if _, err := sp.Step.schedule(1); err != nil {
 		return err
 	}
@@ -212,6 +230,55 @@ func (sp Spec) loss() (opt.Loss, error) {
 	default:
 		return nil, fmt.Errorf("jobs: unknown loss %q (least-squares, logistic)", sp.Loss)
 	}
+}
+
+// withResumeBase overlays this spec on the spec of the job being resumed:
+// every field the submission leaves at its zero value inherits the source
+// job's setting, so a bare {"resume_from": "job-000001"} continues the
+// exact run — same objective, schedule, sampling, barrier, budget and
+// priority — rather than silently resetting hyperparameters to global
+// defaults. Explicitly set fields override. (Boolean knobs can only be
+// turned on, not off, relative to the source — JSON zero values are
+// indistinguishable from "unset".)
+func (sp Spec) withResumeBase(base Spec) Spec {
+	out := base
+	out.ResumeFrom = sp.ResumeFrom
+	if sp.Algorithm != "" {
+		out.Algorithm = sp.Algorithm
+	}
+	if sp.Dataset.Name != "" {
+		out.Dataset = sp.Dataset
+	}
+	if sp.Barrier.Kind != "" {
+		out.Barrier = sp.Barrier
+	}
+	if sp.Step != (StepSpec{}) {
+		out.Step = sp.Step
+	}
+	if sp.Loss != "" {
+		out.Loss = sp.Loss
+	}
+	if sp.SampleFrac != 0 {
+		out.SampleFrac = sp.SampleFrac
+	}
+	if sp.Updates != 0 {
+		out.Updates = sp.Updates
+	}
+	if sp.SnapshotEvery != 0 {
+		out.SnapshotEvery = sp.SnapshotEvery
+	}
+	if sp.Priority != 0 {
+		out.Priority = sp.Priority
+	}
+	if sp.CheckpointEvery != 0 {
+		out.CheckpointEvery = sp.CheckpointEvery
+	}
+	if sp.FStar != 0 {
+		out.FStar = sp.FStar
+	}
+	out.StalenessLR = out.StalenessLR || sp.StalenessLR
+	out.AutoFStar = out.AutoFStar || sp.AutoFStar
+	return out
 }
 
 // solveOptions assembles the engine-facing run configuration. workers is
@@ -231,13 +298,14 @@ func (sp Spec) solveOptions(workers int) (async.SolveOptions, error) {
 	}
 	return async.SolveOptions{
 		Params: opt.Params{
-			Loss:          loss,
-			Step:          step,
-			SampleFrac:    sp.SampleFrac,
-			Updates:       sp.Updates,
-			Barrier:       barrier,
-			StalenessLR:   sp.StalenessLR,
-			SnapshotEvery: sp.SnapshotEvery,
+			Loss:            loss,
+			Step:            step,
+			SampleFrac:      sp.SampleFrac,
+			Updates:         sp.Updates,
+			Barrier:         barrier,
+			StalenessLR:     sp.StalenessLR,
+			SnapshotEvery:   sp.SnapshotEvery,
+			CheckpointEvery: sp.CheckpointEvery,
 		},
 		FStar: sp.FStar,
 	}, nil

@@ -41,14 +41,15 @@ func PSP(p float64, rng *rand.Rand) Filter { return core.PSP(p, rng) }
 
 // config collects the engine settings the functional options mutate.
 type config struct {
-	workers        int
-	seed           int64
-	partitions     int
-	transport      Transport
-	barrier        Barrier
-	delay          straggler.Model
-	minTask        time.Duration
-	barrierTimeout time.Duration
+	workers         int
+	seed            int64
+	partitions      int
+	transport       Transport
+	barrier         Barrier
+	delay           straggler.Model
+	minTask         time.Duration
+	barrierTimeout  time.Duration
+	checkpointEvery int
 }
 
 func defaultConfig() config {
@@ -145,6 +146,20 @@ func WithMinTaskTime(d time.Duration) Option {
 			return fmt.Errorf("async: WithMinTaskTime(%v): negative duration", d)
 		}
 		c.minTask = d
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets the engine's default mid-run checkpoint cadence:
+// every Solve whose options leave Params.CheckpointEvery zero captures a
+// driver checkpoint every n model updates (delivered to the run's
+// Params.OnCheckpoint observer). 0 disables the default.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("async: WithCheckpointEvery(%d): cadence must be non-negative", n)
+		}
+		c.checkpointEvery = n
 		return nil
 	}
 }

@@ -3,7 +3,10 @@
 // Serve (the default): a long-running job-scheduling service over a pool
 // of in-process engines, exposing the JSON/HTTP API of async/jobs — any
 // registry algorithm, any catalog dataset, any barrier policy, per
-// request:
+// request. Scheduling is preemptive: a strictly-higher-priority job
+// checkpoints the lowest-priority running job aside (POST
+// /v1/jobs/{id}/preempt does it manually, GET /v1/jobs/{id}/checkpoint
+// downloads the capture, and "resume_from" on submission continues it):
 //
 //	asyncd -listen :8080 -engines 2 -workers 4
 //	curl -s localhost:8080/v1/jobs -d '{"algorithm":"asgd","dataset":{"name":"rcv1-like"}}'

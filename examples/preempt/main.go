@@ -1,0 +1,137 @@
+// Example preempt demonstrates scheduler preemption through the jobs HTTP
+// API: a long low-priority job is checkpointed aside the moment a
+// high-priority job arrives on a saturated pool, the urgent job runs to
+// completion, and the preempted job resumes from its checkpoint and
+// finishes — no work lost, verified by downloading the checkpoint.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+	"repro/internal/opt"
+)
+
+func main() {
+	sched, err := jobs.New(jobs.Config{
+		Engines: 1, // one engine: the urgent job MUST displace the long one
+		EngineOptions: []async.Option{
+			async.WithWorkers(2),
+			async.WithPartitions(4),
+			async.WithMinTaskTime(500 * time.Microsecond), // stretch the run so the race is visible
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sched.Close()
+	srv := httptest.NewServer(jobs.NewHandler(sched))
+	defer srv.Close()
+
+	// a long background fit at default priority...
+	longID := submit(srv.URL, map[string]any{
+		"algorithm":        "asgd",
+		"dataset":          map[string]any{"name": "rcv1-like"},
+		"step":             map[string]any{"kind": "const", "a": 0.01},
+		"updates":          4000,
+		"snapshot_every":   100,
+		"checkpoint_every": 100,
+	})
+	fmt.Printf("submitted long job %s (priority 0)\n", longID)
+	waitFor(srv.URL, longID, func(j jobState) bool { return j.State == "running" && j.Updates > 0 })
+
+	// ...until an urgent job arrives: strictly higher priority on a
+	// saturated pool preempts the running job at its next update boundary
+	urgentID := submit(srv.URL, map[string]any{
+		"algorithm": "asgd",
+		"dataset":   map[string]any{"name": "rcv1-like"},
+		"step":      map[string]any{"kind": "const", "a": 0.01},
+		"updates":   300,
+		"priority":  10,
+	})
+	fmt.Printf("submitted urgent job %s (priority 10)\n", urgentID)
+
+	waitFor(srv.URL, longID, func(j jobState) bool { return j.State == "preempted" })
+	cp := fetchCheckpoint(srv.URL, longID)
+	fmt.Printf("long job preempted: checkpoint at update %d (%d-dim model) kept server-side\n",
+		cp.Updates, len(cp.W))
+
+	urgent := waitFor(srv.URL, urgentID, func(j jobState) bool { return j.State == "done" })
+	fmt.Printf("urgent job done after %d updates\n", urgent.Updates)
+
+	long := waitFor(srv.URL, longID, func(j jobState) bool { return j.State == "done" })
+	fmt.Printf("long job resumed from its checkpoint and finished: %d updates total, %d preemption(s)\n",
+		long.Updates, long.Preemptions)
+}
+
+type jobState struct {
+	State       string `json:"state"`
+	Updates     int64  `json:"updates"`
+	Preemptions int    `json:"preemptions"`
+}
+
+func submit(base string, spec map[string]any) string {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit: %s: %s", resp.Status, msg)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out.ID
+}
+
+func waitFor(base, id string, cond func(jobState) bool) jobState {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var j jobState
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if cond(j) {
+			return j
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func fetchCheckpoint(base, id string) *opt.Checkpoint {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("checkpoint: %s", resp.Status)
+	}
+	cp, err := opt.LoadCheckpoint(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cp
+}

@@ -38,15 +38,15 @@ func TestCompareThresholds(t *testing.T) {
 	old.Add(Entry{Name: "gone", Value: 5, Unit: "x", Better: LowerIsBetter})
 
 	cur := NewReport(now)
-	cur.Add(Entry{Name: "ns", Value: 114, Unit: "ns/op", Better: LowerIsBetter})    // +14%: within 15%
+	cur.Add(Entry{Name: "ns", Value: 114, Unit: "ns/op", Better: LowerIsBetter})      // +14%: within 15%
 	cur.Add(Entry{Name: "jps", Value: 900, Unit: "jobs/sec", Better: HigherIsBetter}) // -10%: within
-	cur.Add(Entry{Name: "new", Value: 1, Unit: "x", Better: LowerIsBetter})         // only in new: skipped
+	cur.Add(Entry{Name: "new", Value: 1, Unit: "x", Better: LowerIsBetter})           // only in new: skipped
 	if regs := Compare(old, cur, 0.15); len(regs) != 0 {
 		t.Fatalf("expected no regressions, got %v", regs)
 	}
 
 	cur = NewReport(now)
-	cur.Add(Entry{Name: "ns", Value: 120, Unit: "ns/op", Better: LowerIsBetter})    // +20%: regression
+	cur.Add(Entry{Name: "ns", Value: 120, Unit: "ns/op", Better: LowerIsBetter})      // +20%: regression
 	cur.Add(Entry{Name: "jps", Value: 800, Unit: "jobs/sec", Better: HigherIsBetter}) // -20%: regression
 	regs := Compare(old, cur, 0.15)
 	if len(regs) != 2 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -54,10 +55,112 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := sparseMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := checkpointMetrics(log); err != nil {
+		return nil, err
+	}
 	if err := schedulerMetrics(log, opts.SchedulerJobs); err != nil {
 		return nil, err
 	}
+	if err := preemptMetrics(log); err != nil {
+		return nil, err
+	}
 	return r, nil
+}
+
+// checkpointMetrics times the driver-checkpoint save path (the per-capture
+// cost a CheckpointEvery cadence pays): a 100k-dimension model plus history
+// average through the binary codec into a reused buffer.
+func checkpointMetrics(log func(Entry)) error {
+	const dim = 100_000
+	cp := &opt.Checkpoint{Algorithm: "asaga", W: la.NewVec(dim), Updates: 1 << 20, AvgHist: la.NewVec(dim)}
+	for i := range cp.W {
+		cp.W[i] = float64(i%13) * 0.25
+		cp.AvgHist[i] = float64(i%7) * 0.5
+	}
+	var buf bytes.Buffer
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := opt.SaveCheckpoint(&buf, cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	log(Entry{Name: "checkpoint.save_ns", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: "100k-dim model + history average, binary codec, reused buffer"})
+	return nil
+}
+
+// preemptMetrics measures the scheduler's preempt→resume round trip: the
+// wall time from Preempt(id) until the job is checkpointed aside, re-queued
+// and running again on the freed engine.
+func preemptMetrics(log func(Entry)) error {
+	s, err := jobs.New(jobs.Config{
+		Engines:    1,
+		QueueDepth: 4,
+		Retention:  4,
+		EngineOptions: []async.Option{
+			async.WithWorkers(1),
+			async.WithPartitions(2),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	id, err := s.Submit(jobs.Spec{
+		Algorithm:     "asgd",
+		Dataset:       jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:          jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:       50_000_000, // effectively unbounded; canceled below
+		SnapshotEvery: 10_000,
+	})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	waitFor := func(cond func(jobs.Job) bool) error {
+		for {
+			job, err := s.Status(id)
+			if err != nil {
+				return err
+			}
+			if cond(job) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: preempt cycle stuck in %s", job.State)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if err := waitFor(func(j jobs.Job) bool { return j.State == jobs.StateRunning }); err != nil {
+		return err
+	}
+	const cycles = 5
+	var total time.Duration
+	for i := 0; i < cycles; i++ {
+		before, err := s.Status(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := s.Preempt(id); err != nil {
+			return err
+		}
+		if err := waitFor(func(j jobs.Job) bool {
+			return j.Preemptions > before.Preemptions && j.State == jobs.StateRunning
+		}); err != nil {
+			return err
+		}
+		total += time.Since(start)
+	}
+	if err := s.Cancel(id); err != nil {
+		return err
+	}
+	log(Entry{Name: "scheduler.preempt_resume_ms", Value: total.Seconds() * 1000 / cycles, Unit: "ms", Better: LowerIsBetter,
+		Note: fmt.Sprintf("Preempt→checkpoint→requeue→running again, mean of %d cycles, 1-engine pool", cycles)})
+	return nil
 }
 
 // gradEnv builds the single-worker environment the kernel benchmarks run

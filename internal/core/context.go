@@ -25,6 +25,10 @@ type Context struct {
 	bcastMu   sync.Mutex
 	bcastMemo map[string]stampedBroadcast
 
+	// updateHook observes every AdvanceClock (per-run; cleared by ResetRun).
+	hookMu     sync.Mutex
+	updateHook func(updates int64)
+
 	// BarrierTimeout bounds ASYNCbarrier blocking (0 = default 30s).
 	BarrierTimeout time.Duration
 }
@@ -80,6 +84,7 @@ func (ac *Context) ResetRun(timeout time.Duration) error {
 	ac.bcastMu.Lock()
 	ac.bcastMemo = nil // stamps restart with the zeroed clock
 	ac.bcastMu.Unlock()
+	ac.SetUpdateHook(nil) // a hook must not outlive its run
 	c := ac.rctx.Cluster()
 	router := c.Router()
 	workers := c.AliveWorkers()
@@ -121,9 +126,30 @@ func (ac *Context) HasNext() bool { return ac.coord.HasNext() }
 // Pending counts in-flight tasks.
 func (ac *Context) Pending() int { return ac.coord.Pending() }
 
+// SetUpdateHook registers fn to run synchronously (on the driver goroutine)
+// after every AdvanceClock — the update-boundary hook. The driver runtime
+// uses it to mark checkpoint cadence and preemption boundaries; monitors may
+// use it to observe run progress without polling. nil unregisters; ResetRun
+// clears it so a hook can never outlive its run.
+func (ac *Context) SetUpdateHook(fn func(updates int64)) {
+	ac.hookMu.Lock()
+	ac.updateHook = fn
+	ac.hookMu.Unlock()
+}
+
 // AdvanceClock increments the model-update logical clock; drivers call it
-// once per parameter update so staleness bookkeeping is meaningful.
-func (ac *Context) AdvanceClock() int64 { return ac.coord.AdvanceClock() }
+// once per parameter update so staleness bookkeeping is meaningful. The
+// registered update hook (if any) runs after the increment, before return.
+func (ac *Context) AdvanceClock() int64 {
+	v := ac.coord.AdvanceClock()
+	ac.hookMu.Lock()
+	fn := ac.updateHook
+	ac.hookMu.Unlock()
+	if fn != nil {
+		fn(v)
+	}
+	return v
+}
 
 // Updates reads the logical clock.
 func (ac *Context) Updates() int64 { return ac.coord.Updates() }
@@ -208,7 +234,7 @@ func (ac *Context) ASYNCreduce(sel *Selection, k Kernel) (int, error) {
 		}
 		t := &cluster.Task{
 			ID:       c.NextTaskID(),
-			Seed:     c.NextTaskID()*1_000_003 + int64(w),
+			Seed:     ac.coord.NextDispatchSeq()*1_000_003 + int64(w),
 			Dispatch: ac.coord.Updates(),
 		}
 		kern := k
@@ -255,7 +281,7 @@ func (ac *Context) ASYNCreduceOp(sel *Selection, op string, argsFor func(worker 
 			ID:       c.NextTaskID(),
 			Op:       op,
 			Args:     argsFor(w, parts),
-			Seed:     c.NextTaskID()*1_000_003 + int64(w),
+			Seed:     ac.coord.NextDispatchSeq()*1_000_003 + int64(w),
 			Dispatch: ac.coord.Updates(),
 		}
 		router.Route(t.ID, ac.coord.results)

@@ -40,8 +40,13 @@ type Coordinator struct {
 	workers map[int]*workerState
 	queue   []TaskResult
 	updates int64
-	pending int
-	closed  bool
+	// dispatchSeq numbers dispatched tasks within a run; the reduce
+	// transformations derive task sampling seeds from it, so a run's seed
+	// stream depends only on its own dispatch history — resumable via
+	// SetDispatchSeq, unlike the cluster-global task-id counter.
+	dispatchSeq int64
+	pending     int
+	closed      bool
 
 	results chan *cluster.Result
 	done    chan struct{}
@@ -208,6 +213,7 @@ func (co *Coordinator) ResetRun(timeout time.Duration) error {
 	}
 	co.queue = nil
 	co.updates = 0
+	co.dispatchSeq = 0
 	co.waitTotal = map[int]time.Duration{}
 	co.waitCount = map[int]int64{}
 	co.staleHist = map[int64]int64{}
@@ -353,6 +359,29 @@ func (co *Coordinator) Updates() int64 {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return co.updates
+}
+
+// NextDispatchSeq claims the next per-run dispatch sequence number.
+func (co *Coordinator) NextDispatchSeq() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.dispatchSeq++
+	return co.dispatchSeq
+}
+
+// DispatchSeq reads the per-run dispatch counter (checkpoint export).
+func (co *Coordinator) DispatchSeq() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.dispatchSeq
+}
+
+// SetDispatchSeq restores the per-run dispatch counter (checkpoint resume):
+// subsequent tasks continue the interrupted run's seed stream exactly.
+func (co *Coordinator) SetDispatchSeq(v int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.dispatchSeq = v
 }
 
 // HasNext reports whether a task result is queued (AC.hasNext in Table 1).

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestUpdateHookFiresPerAdvance: the update-boundary hook observes every
+// clock advance with the post-increment value, on the calling goroutine.
+func TestUpdateHookFiresPerAdvance(t *testing.T) {
+	ac, _ := setup(t, 1, 1, nil)
+	var seen []int64
+	ac.SetUpdateHook(func(u int64) { seen = append(seen, u) })
+	for i := 0; i < 3; i++ {
+		ac.AdvanceClock()
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("hook observed %v, want [1 2 3]", seen)
+	}
+	ac.SetUpdateHook(nil)
+	ac.AdvanceClock()
+	if len(seen) != 3 {
+		t.Fatalf("unregistered hook still fired: %v", seen)
+	}
+}
+
+// TestResetRunClearsHookAndDispatchSeq: per-run state — the hook and the
+// dispatch-sequence counter — must not leak into the next run.
+func TestResetRunClearsHookAndDispatchSeq(t *testing.T) {
+	ac, _ := setup(t, 1, 1, nil)
+	fired := 0
+	ac.SetUpdateHook(func(int64) { fired++ })
+	ac.AdvanceClock()
+	co := ac.Coordinator()
+	co.SetDispatchSeq(41)
+	if got := co.NextDispatchSeq(); got != 42 {
+		t.Fatalf("dispatch seq %d, want 42", got)
+	}
+	if got := co.DispatchSeq(); got != 42 {
+		t.Fatalf("dispatch seq reads %d, want 42", got)
+	}
+	if err := ac.ResetRun(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.DispatchSeq(); got != 0 {
+		t.Fatalf("dispatch seq %d after ResetRun, want 0", got)
+	}
+	ac.AdvanceClock()
+	if fired != 1 {
+		t.Fatalf("hook survived ResetRun (fired %d)", fired)
+	}
+	if got := ac.Updates(); got != 1 {
+		t.Fatalf("clock %d after ResetRun+advance, want 1", got)
+	}
+}
+
+// TestDispatchSeqSeedsTasks: the per-run dispatch counter (not the
+// cluster-global task-id counter) drives task seeds, so a run whose
+// counter is restored — the checkpoint-resume path — draws exactly the
+// seed stream the uninterrupted run would have.
+func TestDispatchSeqSeedsTasks(t *testing.T) {
+	collectSeeds := func(ac *Context, n int) []int64 {
+		t.Helper()
+		var seeds []int64
+		for i := 0; i < n; i++ {
+			sel, err := ac.ASYNCbarrier(BSP(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ac.ASYNCreduce(sel, func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+				return seed, 1, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := ac.ASYNCcollectAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeds = append(seeds, tr.Payload.(int64))
+		}
+		return seeds
+	}
+	ac1, _ := setup(t, 1, 1, nil)
+	full := collectSeeds(ac1, 4)
+
+	ac2, _ := setup(t, 1, 1, nil)
+	first := collectSeeds(ac2, 2)
+	mark := ac2.Coordinator().DispatchSeq()
+	if err := ac2.ResetRun(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ac2.Coordinator().SetDispatchSeq(mark) // what a checkpoint resume restores
+	rest := collectSeeds(ac2, 2)
+
+	got := append(append([]int64{}, first...), rest...)
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("seed stream diverged at task %d: %v vs %v", i, got, full)
+		}
+	}
+}

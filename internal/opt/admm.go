@@ -3,7 +3,6 @@ package opt
 import (
 	"encoding/gob"
 	"fmt"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -39,6 +38,15 @@ type ADMMParams struct {
 	// OnProgress observes recorder snapshots as z-updates land (see
 	// Params.OnProgress).
 	OnProgress ProgressFunc
+
+	// CheckpointEvery / OnCheckpoint / Preempt / Resume mirror the Params
+	// fields of the same names (see Params); the checkpoint carries z and
+	// the per-worker consensus contributions. Worker-side primal/dual
+	// iterates are soft state a resumed run re-seeds.
+	CheckpointEvery int
+	OnCheckpoint    func(*Checkpoint)
+	Preempt         *PreemptSignal
+	Resume          *Checkpoint
 }
 
 func (p *ADMMParams) defaults() error {
@@ -155,6 +163,80 @@ func admmKernel(zBr core.DynBroadcast, rho, cgTol float64, cgIters int) core.Ker
 	}
 }
 
+// admmContrib is one worker's latest consensus contribution: the sum of
+// (x_i + u_i) over its partitions plus how many partitions it covered.
+type admmContrib struct {
+	sum la.Vec
+	n   int
+}
+
+// admmUpdater re-averages the consensus z from the latest contribution of
+// each worker — every contribution is first-class driver state, exported
+// with the checkpoint so a resumed asynchronous run re-averages from
+// exactly the mix it was preempted at.
+type admmUpdater struct {
+	z      la.Vec
+	latest map[int]admmContrib
+}
+
+func (u *admmUpdater) Model() la.Vec { return u.z }
+func (u *admmUpdater) Settle()       {}
+
+func (u *admmUpdater) Apply(payload any, attrs *core.Attrs, _ float64) error {
+	part, ok := payload.(ADMMPartial)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	// copy into the worker's persistent contribution buffer and recycle
+	// the pooled payload (latest outlives the round)
+	c := u.latest[attrs.Worker]
+	if len(c.sum) != len(part.XPlusU) {
+		c.sum = la.NewVec(len(part.XPlusU))
+	}
+	c.sum.CopyFrom(part.XPlusU)
+	c.n = attrs.MiniBatch
+	u.latest[attrs.Worker] = c
+	la.PutVec(part.XPlusU)
+	return nil
+}
+
+// FlushRound recomputes z as the mean over all known partition
+// contributions (the round's own collects included).
+func (u *admmUpdater) FlushRound(_ float64) (bool, error) {
+	total := 0
+	u.z.Zero()
+	for _, c := range u.latest {
+		la.Axpy(1, c.sum, u.z)
+		total += c.n
+	}
+	if total == 0 {
+		return false, nil
+	}
+	la.Scale(1/float64(total), u.z)
+	return true, nil
+}
+
+func (u *admmUpdater) Export(cp *Checkpoint) {
+	for w, c := range u.latest {
+		cp.SetVec(fmt.Sprintf("latest.sum.%d", w), c.sum)
+		cp.SetInt(fmt.Sprintf("latest.n.%d", w), int64(c.n))
+	}
+}
+
+func (u *admmUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.z, cp); err != nil {
+		return err
+	}
+	for name, v := range cp.Vecs {
+		var w int
+		if _, err := fmt.Sscanf(name, "latest.sum.%d", &w); err != nil {
+			continue
+		}
+		u.latest[w] = admmContrib{sum: v.Clone(), n: int(cp.Int(fmt.Sprintf("latest.n.%d", w)))}
+	}
+	return nil
+}
+
 // ADMM runs consensus ADMM. Synchronous (BSP) when p.Barrier is core.BSP():
 // every z-update averages all partitions' (x_i + u_i). Under ASP/SSP the
 // server re-averages from the latest contribution of each worker as results
@@ -164,73 +246,26 @@ func ADMM(ac *core.Context, d *dataset.Dataset, p ADMMParams, fstar float64) (*R
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
-	cols := d.NumCols()
-	z := la.NewVec(cols)
-	rec := NewRecorder(p.Snapshot)
-	rec.Notify(p.OnProgress)
-	rec.Force(0, z)
-	// latest contribution per worker: sum of (x_i+u_i) over its partitions
-	// plus how many partitions it covered
-	type contrib struct {
-		sum la.Vec
-		n   int
-	}
-	latest := map[int]contrib{}
+	u := &admmUpdater{z: la.NewVec(d.NumCols()), latest: map[int]admmContrib{}}
 	algo := "ADMM-async"
 	if isBSPBarrier(ac, p.Barrier) {
 		algo = "ADMM"
 	}
-	for round := int64(0); round < int64(p.Rounds); round++ {
-		zBr := ac.ASYNCbroadcast("admm.z", z.Clone())
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: ADMM round %d: %w", round, err)
-		}
-		n, err := ac.ASYNCreduce(sel, admmKernel(zBr, p.Rho, p.CGTol, p.CGIters))
-		if err != nil {
-			return nil, err
-		}
-		collected := 0
-		for first := true; (first || ac.HasNext()) && collected < n; first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			part, ok := tr.Payload.(ADMMPartial)
-			if !ok {
-				return nil, fmt.Errorf("opt: ADMM payload %T", tr.Payload)
-			}
-			// copy into the worker's persistent contribution buffer and
-			// recycle the pooled payload (latest outlives the round)
-			c := latest[tr.Attrs.Worker]
-			if len(c.sum) != len(part.XPlusU) {
-				c.sum = la.NewVec(len(part.XPlusU))
-			}
-			c.sum.CopyFrom(part.XPlusU)
-			c.n = tr.Attrs.MiniBatch
-			latest[tr.Attrs.Worker] = c
-			la.PutVec(part.XPlusU)
-			collected++
-		}
-		// z = mean over all known partition contributions
-		total := 0
-		z.Zero()
-		for _, c := range latest {
-			la.Axpy(1, c.sum, z)
-			total += c.n
-		}
-		if total == 0 {
-			continue
-		}
-		la.Scale(1/float64(total), z)
-		upd := ac.AdvanceClock()
-		rec.Maybe(upd, z)
+	lp := Params{
+		Updates: p.Rounds, Barrier: p.Barrier, Filter: p.Filter,
+		SnapshotEvery: p.Snapshot, OnProgress: p.OnProgress,
+		CheckpointEvery: p.CheckpointEvery, OnCheckpoint: p.OnCheckpoint,
+		Preempt: p.Preempt, Resume: p.Resume,
 	}
-	rec.Finish(ac.Updates(), z)
-	drain(ac, 5*time.Second)
-	res := &Result{W: z}
-	res.Trace = newTrace(ac, algo, d, rec, LeastSquares{}, fstar)
-	return res, nil
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: algo, Name: "admm", Key: "admm.z",
+		P: &lp, Loss: LeastSquares{}, FStar: fstar,
+		Target: int64(p.Rounds), Publish: pubPlain,
+		Round: true, StreamRound: true, RoundBudget: true,
+		Dispatch: func(zBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, admmKernel(zBr, p.Rho, p.CGTol, p.CGIters))
+		},
+	})
 }
 
 // isBSPBarrier distinguishes the trace label only; behaviour comes from the

@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -37,6 +36,16 @@ type BCDParams struct {
 	// OnProgress observes recorder snapshots as block updates land (see
 	// Params.OnProgress).
 	OnProgress ProgressFunc
+
+	// CheckpointEvery / OnCheckpoint / Preempt / Resume mirror the Params
+	// fields of the same names (see Params). Besides the model, the
+	// checkpoint carries the dispatch count, which Import replays against
+	// the seeded RNG so a resumed run continues the block sequence exactly
+	// where the original stopped.
+	CheckpointEvery int
+	OnCheckpoint    func(*Checkpoint)
+	Preempt         *PreemptSignal
+	Resume          *Checkpoint
 }
 
 func (p *BCDParams) defaults(cols int) error {
@@ -127,6 +136,101 @@ func bcdKernel(wBr core.DynBroadcast, block []int32) core.Kernel {
 	}
 }
 
+// bcdUpdater owns the block-coordinate driver state: the model, the block
+// RNG (with a dispatch counter so checkpoints can replay the block
+// sequence), and — in synchronous mode — the round's combined block
+// gradient/curvature.
+type bcdUpdater struct {
+	w         la.Vec
+	step      float64
+	blockSize int
+	seed      int64
+	rng       *rand.Rand
+	perm      []int32
+	sync      bool
+
+	dispatches int64
+	block      []int32 // sync mode: the round's block
+	g, h       la.Vec  // sync mode: combined partials
+	got        int
+}
+
+func newBCDUpdater(cols int, p BCDParams, sync bool) *bcdUpdater {
+	u := &bcdUpdater{
+		w: la.NewVec(cols), step: p.Step, blockSize: p.BlockSize,
+		seed: p.Seed, rng: rand.New(rand.NewSource(p.Seed + 1)),
+		perm: make([]int32, cols), sync: sync,
+	}
+	for j := range u.perm {
+		u.perm[j] = int32(j)
+	}
+	if sync {
+		u.g = la.NewVec(p.BlockSize)
+		u.h = la.NewVec(p.BlockSize)
+	}
+	return u
+}
+
+// pickBlock draws the next coordinate block, counting the draw so a
+// checkpoint resume can fast-forward the RNG.
+func (u *bcdUpdater) pickBlock() []int32 {
+	u.dispatches++
+	for k := 0; k < u.blockSize; k++ {
+		swap := k + u.rng.Intn(len(u.perm)-k)
+		u.perm[k], u.perm[swap] = u.perm[swap], u.perm[k]
+	}
+	return append([]int32(nil), u.perm[:u.blockSize]...)
+}
+
+func (u *bcdUpdater) Model() la.Vec { return u.w }
+func (u *bcdUpdater) Settle()       {}
+
+func (u *bcdUpdater) Apply(payload any, attrs *core.Attrs, _ float64) error {
+	part, ok := payload.(BCDPartial)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	if u.sync {
+		// combine every worker's partial into one exact block step
+		la.Axpy(1, part.G, u.g)
+		la.Axpy(1, part.H, u.h)
+		u.got++
+	} else {
+		applyBlockStep(u.w, part.Block, part.G, part.H, u.step)
+	}
+	la.PutVec(part.G)
+	la.PutVec(part.H)
+	return nil
+}
+
+func (u *bcdUpdater) FlushRound(_ float64) (bool, error) {
+	applied := u.got > 0
+	if applied {
+		applyBlockStep(u.w, u.block, u.g, u.h, u.step)
+	}
+	u.g.Zero()
+	u.h.Zero()
+	u.got = 0
+	return applied, nil
+}
+
+func (u *bcdUpdater) Export(cp *Checkpoint) { cp.SetInt("dispatches", u.dispatches) }
+
+func (u *bcdUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	// replay the recorded number of block draws against the freshly seeded
+	// RNG so the resumed run picks up the block sequence exactly where the
+	// original stopped
+	replay := cp.Int("dispatches")
+	u.dispatches = 0
+	for i := int64(0); i < replay; i++ {
+		u.pickBlock()
+	}
+	return nil
+}
+
 // AsyncBCD runs the block coordinate method. With core.BSP() it is a
 // synchronous Jacobi block solver (all partials combined before the step);
 // under ASP each worker's partial triggers its own damped step.
@@ -134,88 +238,31 @@ func AsyncBCD(ac *core.Context, d *dataset.Dataset, p BCDParams, fstar float64) 
 	if err := p.defaults(d.NumCols()); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed + 1))
-	w := la.NewVec(d.NumCols())
-	rec := NewRecorder(p.Snapshot)
-	rec.Notify(p.OnProgress)
-	rec.Force(0, w)
-	perm := make([]int32, d.NumCols())
-	for j := range perm {
-		perm[j] = int32(j)
-	}
-	pickBlock := func() []int32 {
-		for k := 0; k < p.BlockSize; k++ {
-			swap := k + rng.Intn(len(perm)-k)
-			perm[k], perm[swap] = perm[swap], perm[k]
-		}
-		return append([]int32(nil), perm[:p.BlockSize]...)
-	}
 	sync := isBSPBarrier(ac, p.Barrier)
-	updates := int64(0)
-	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("bcd.w", w.Clone())
-		ac.RDD().PruneBroadcast("bcd.w", 4*ac.RDD().Cluster().NumWorkers())
-		block := pickBlock()
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: BCD after %d updates: %w", updates, err)
-		}
-		n, err := ac.ASYNCreduce(sel, bcdKernel(wBr, block))
-		if err != nil {
-			return nil, err
-		}
-		if sync {
-			// combine every worker's partial into one exact block step
-			g := la.GetVec(len(block))
-			h := la.GetVec(len(block))
-			got := 0
-			for i := 0; i < n; i++ {
-				tr, err := ac.ASYNCcollectAll()
-				if err != nil {
-					break
-				}
-				part := tr.Payload.(BCDPartial)
-				la.Axpy(1, part.G, g)
-				la.Axpy(1, part.H, h)
-				la.PutVec(part.G)
-				la.PutVec(part.H)
-				got++
-			}
-			if got > 0 {
-				applyBlockStep(w, block, g, h, p.Step)
-			}
-			la.PutVec(g)
-			la.PutVec(h)
-			if got == 0 {
-				continue
-			}
-			updates = ac.AdvanceClock()
-			rec.Maybe(updates, w)
-			continue
-		}
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			part, ok := tr.Payload.(BCDPartial)
-			if !ok {
-				return nil, fmt.Errorf("opt: BCD payload %T", tr.Payload)
-			}
-			applyBlockStep(w, part.Block, part.G, part.H, p.Step)
-			la.PutVec(part.G)
-			la.PutVec(part.H)
-			updates = ac.AdvanceClock()
-			rec.Maybe(updates, w)
-		}
-	}
-	rec.Finish(updates, w)
-	drain(ac, 5*time.Second)
 	algo := "BCD-async"
 	if sync {
 		algo = "BCD"
 	}
-	return &Result{Trace: newTrace(ac, algo, d, rec, LeastSquares{}, fstar), W: w}, nil
+	u := newBCDUpdater(d.NumCols(), p, sync)
+	lp := Params{
+		Updates: p.Updates, Barrier: p.Barrier, Filter: p.Filter,
+		SnapshotEvery: p.Snapshot, OnProgress: p.OnProgress,
+		CheckpointEvery: p.CheckpointEvery, OnCheckpoint: p.OnCheckpoint,
+		Preempt: p.Preempt, Resume: p.Resume,
+	}
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: algo, Name: "bcd", Key: "bcd.w",
+		P: &lp, Loss: LeastSquares{}, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubPlain, Prune: true,
+		Round: sync,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			block := u.pickBlock()
+			if u.sync {
+				u.block = block
+			}
+			return ac.ASYNCreduce(sel, bcdKernel(wBr, block))
+		},
+	})
 }
 
 // applyBlockStep performs the damped diagonal-Newton update on a block.

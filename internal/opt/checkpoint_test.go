@@ -2,6 +2,7 @@ package opt
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"repro/internal/la"
@@ -28,6 +29,97 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if !la.Equal(got.W, cp.W, 0) || !la.Equal(got.AvgHist, cp.AvgHist, 0) {
 		t.Fatal("vectors lost")
 	}
+}
+
+// TestCheckpointExtendedStateRoundTrip covers the solver-specific state
+// maps through the binary codec.
+func TestCheckpointExtendedStateRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Algorithm: "svrg",
+		W:         la.Vec{1, 2, 3},
+		Updates:   7,
+		Vecs: map[string]la.Vec{
+			"mu":     {0.5, -0.25, 0},
+			"anchor": {1, 2, 3},
+		},
+		Ints: map[string]int64{"dispatches": 42, "round": 9},
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "svrg" || got.Updates != 7 {
+		t.Fatalf("fields lost: %+v", got)
+	}
+	if !la.Equal(got.Vec("mu"), cp.Vecs["mu"], 0) || !la.Equal(got.Vec("anchor"), cp.Vecs["anchor"], 0) {
+		t.Fatal("state vectors lost")
+	}
+	if got.Int("dispatches") != 42 || got.Int("round") != 9 {
+		t.Fatalf("counters lost: %+v", got.Ints)
+	}
+	if got.AvgHist != nil {
+		t.Fatal("phantom history decoded")
+	}
+}
+
+// TestCheckpointGobFallback: files written by the pre-binary (gob) format
+// still load.
+func TestCheckpointGobFallback(t *testing.T) {
+	cp := &Checkpoint{Algorithm: "ASGD", W: la.Vec{4, 5}, Updates: 3, AvgHist: la.Vec{1, 1}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "ASGD" || got.Updates != 3 || !la.Equal(got.W, cp.W, 0) || !la.Equal(got.AvgHist, cp.AvgHist, 0) {
+		t.Fatalf("gob fallback lost fields: %+v", got)
+	}
+}
+
+// FuzzLoadCheckpoint hardens the load path: arbitrary input must either
+// fail cleanly or produce a structurally valid checkpoint that re-saves.
+// Lengths are validated against the remaining input before any allocation.
+func FuzzLoadCheckpoint(f *testing.F) {
+	valid := &Checkpoint{
+		Algorithm: "asgd",
+		W:         la.Vec{1, 2, 3},
+		Updates:   5,
+		AvgHist:   la.Vec{0, 1, 0},
+		Vecs:      map[string]la.Vec{"vel": {0.1, 0.2, 0.3}},
+		Ints:      map[string]int64{"round": 2},
+	}
+	var bin bytes.Buffer
+	if err := SaveCheckpoint(&bin, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gobBuf.Bytes())
+	f.Add([]byte("ACP1"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := LoadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("loaded checkpoint fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, cp); err != nil {
+			t.Fatalf("loaded checkpoint does not re-save: %v", err)
+		}
+	})
 }
 
 func TestCheckpointValidation(t *testing.T) {

@@ -4,6 +4,22 @@
 // the ASYNC engine, the staleness-adaptive learning-rate modulation of
 // Listing 1, the epoch-based variance-reduced scheme of Listing 3, and an
 // Mllib-style baseline implemented directly on the synchronous RDD layer.
+//
+// Every method dispatches through one unified driver runtime (runtime.go):
+// a solver contributes an Updater (kernel wiring plus the arithmetic of a
+// single model update) and the runtime owns the collect→apply→broadcast
+// loop, recorder cadence, lazy-settle scheduling, mid-run checkpointing
+// (Params.CheckpointEvery / Resume), and preemption (Params.Preempt).
+//
+// Semantics of lazy L2 under staleness: on the sparse task path the Ridge
+// shrinkage (1−αλ)·w is deferred per coordinate and applied at the
+// driver's CURRENT model when a coordinate is next touched or the model is
+// settled — not at the (possibly stale) worker model the task's inner
+// gradient was computed against. At zero staleness this is identical to
+// the eager dense update (pinned to 1e-9 in sparse_test.go); under
+// asynchrony both orderings are valid async-SGD variants — the deferred
+// one simply commutes the shrinkage past intervening sparse updates.
+// Dense payloads always carry their loss's own λ·w terms eagerly.
 package opt
 
 import (

@@ -182,28 +182,36 @@ func solveSVRG(_ context.Context, r SolveRequest) (*Result, error) {
 func solveADMM(_ context.Context, r SolveRequest) (*Result, error) {
 	cfg := r.Config
 	return ADMM(r.AC, r.Data, ADMMParams{
-		Rho:        cfg.ADMM.Rho,
-		Rounds:     cfg.Updates,
-		CGTol:      cfg.ADMM.CGTol,
-		CGIters:    cfg.ADMM.CGIters,
-		Barrier:    cfg.Barrier,
-		Filter:     cfg.Filter,
-		Snapshot:   cfg.SnapshotEvery,
-		OnProgress: cfg.OnProgress,
+		Rho:             cfg.ADMM.Rho,
+		Rounds:          cfg.Updates,
+		CGTol:           cfg.ADMM.CGTol,
+		CGIters:         cfg.ADMM.CGIters,
+		Barrier:         cfg.Barrier,
+		Filter:          cfg.Filter,
+		Snapshot:        cfg.SnapshotEvery,
+		OnProgress:      cfg.OnProgress,
+		CheckpointEvery: cfg.CheckpointEvery,
+		OnCheckpoint:    cfg.OnCheckpoint,
+		Preempt:         cfg.Preempt,
+		Resume:          cfg.Resume,
 	}, cfg.FStar)
 }
 
 func solveBCD(_ context.Context, r SolveRequest) (*Result, error) {
 	cfg := r.Config
 	bp := BCDParams{
-		BlockSize:  cfg.BCD.BlockSize,
-		Step:       cfg.BCD.Step,
-		Updates:    cfg.Updates,
-		Barrier:    cfg.Barrier,
-		Filter:     cfg.Filter,
-		Snapshot:   cfg.SnapshotEvery,
-		Seed:       cfg.BCD.Seed,
-		OnProgress: cfg.OnProgress,
+		BlockSize:       cfg.BCD.BlockSize,
+		Step:            cfg.BCD.Step,
+		Updates:         cfg.Updates,
+		Barrier:         cfg.Barrier,
+		Filter:          cfg.Filter,
+		Snapshot:        cfg.SnapshotEvery,
+		Seed:            cfg.BCD.Seed,
+		OnProgress:      cfg.OnProgress,
+		CheckpointEvery: cfg.CheckpointEvery,
+		OnCheckpoint:    cfg.OnCheckpoint,
+		Preempt:         cfg.Preempt,
+		Resume:          cfg.Resume,
 	}
 	if bp.BlockSize <= 0 {
 		bp.BlockSize = 32

@@ -3,7 +3,6 @@ package opt
 import (
 	"encoding/gob"
 	"fmt"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -102,50 +101,19 @@ func RemoteASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) 
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := p.recorder()
-	rec.Force(0, st.w)
-	updates := int64(0)
-	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcastStamped("saga.w", updates, func() any {
-			st.settle()
-			return st.w.Clone()
-		})
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: RemoteASAGA after %d updates: %w", updates, err)
-		}
-		_, err = ac.ASYNCreduceOp(sel, SagaOpName, func(worker int, parts []int) any {
-			return SagaOpArgs{
-				BroadcastID: wBr.ID, Version: wBr.Version,
-				Frac: p.SampleFrac, Parts: parts, Loss: lossName,
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			alpha := p.Step.Alpha(updates)
-			if p.StalenessLR {
-				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-			}
-			if err := applySagaPayload(st, alpha, tr.Payload, tr.Attrs.MiniBatch); err != nil {
-				return nil, fmt.Errorf("opt: RemoteASAGA: %w", err)
-			}
-			updates = ac.AdvanceClock()
-			if rec.Due(updates) {
-				st.settle()
-			}
-			rec.Maybe(updates, st.w)
-		}
-	}
-	st.settle()
-	rec.Finish(updates, st.w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "ASAGA-remote", d, rec, p.Loss, fstar), W: st.w}, nil
+	return runLoop(ac, d, sagaStreamUpdater{st}, &loopSpec{
+		Algo: "ASAGA-remote", Name: "asaga-remote", Key: "saga.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubStamped,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduceOp(sel, SagaOpName, func(worker int, parts []int) any {
+				return SagaOpArgs{
+					BroadcastID: wBr.ID, Version: wBr.Version,
+					Frac: p.SampleFrac, Parts: parts, Loss: lossName,
+				}
+			})
+		},
+	})
 }
 
 // LossByName resolves the loss functions shippable by name to remote ops.
@@ -171,53 +139,18 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 	if _, err := LossByName(lossName); err != nil {
 		return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
 	}
-	w := la.NewVec(d.NumCols())
-	ap := newSGDApplier(&p, d.NumCols())
-	rec := p.recorder()
-	rec.Force(0, w)
-	updates := int64(0)
-	keep := 4 * ac.RDD().Cluster().NumWorkers()
-	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcastStamped("sgd.w", updates, func() any {
-			ap.settle(w)
-			return w.Clone()
-		})
-		ac.RDD().PruneBroadcast("sgd.w", keep)
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: RemoteASGD after %d updates: %w", updates, err)
-		}
-		_, err = ac.ASYNCreduceOp(sel, GradOpName, func(worker int, parts []int) any {
-			return GradOpArgs{
-				BroadcastID: wBr.ID, Version: wBr.Version,
-				Frac: p.SampleFrac, Parts: parts, Loss: lossName,
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			alpha := p.Step.Alpha(updates)
-			if p.StalenessLR {
-				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-			}
-			if err := ap.apply(w, tr.Payload, alpha, tr.Attrs.MiniBatch); err != nil {
-				return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
-			}
-			updates = ac.AdvanceClock()
-			if rec.Due(updates) {
-				ap.settle(w)
-			}
-			rec.Maybe(updates, w)
-		}
-	}
-	ap.settle(w)
-	rec.Finish(updates, w)
-	drain(ac, 5*time.Second)
-	res := &Result{Trace: newTrace(ac, "ASGD-remote", d, rec, p.Loss, fstar), W: w}
-	return res, nil
+	u := &asgdUpdater{w: la.NewVec(d.NumCols()), ap: newSGDApplier(&p, d.NumCols())}
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "ASGD-remote", Name: "asgd-remote", Key: "sgd.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubStamped, Prune: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduceOp(sel, GradOpName, func(worker int, parts []int) any {
+				return GradOpArgs{
+					BroadcastID: wBr.ID, Version: wBr.Version,
+					Frac: p.SampleFrac, Parts: parts, Loss: lossName,
+				}
+			})
+		},
+	})
 }

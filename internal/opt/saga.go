@@ -2,7 +2,6 @@ package opt
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -47,6 +46,34 @@ func (s *sagaState) init(p Params) error {
 			return fmt.Errorf("opt: InitAvgHist dim %d != %d", len(p.InitAvgHist), len(s.avgHist))
 		}
 		s.avgHist.CopyFrom(p.InitAvgHist)
+	}
+	return nil
+}
+
+// Updater state half shared by every SAGA flavour. The checkpoint carries
+// the settled model plus the history average. avgHist is the mean of the
+// gradients stored in the worker-side history shards, so the two must stay
+// consistent: a same-context resume (shards intact) restores avgHist for
+// an exact continuation, while a resume after an engine reset (shards
+// cleared — every sample reports zero historical gradient again) restarts
+// avgHist at zero too. Restoring avgHist over empty shards would bake the
+// old gradient mass in forever: nothing ever subtracts it, permanently
+// biasing the estimator. Zero table + zero average is the standard SAGA
+// cold start from the checkpointed model — unbiased, merely without the
+// variance reduction history until samples are re-touched.
+func (s *sagaState) Model() la.Vec { return s.w }
+func (s *sagaState) Settle()       { s.settle() }
+
+func (s *sagaState) Export(cp *Checkpoint) { cp.AvgHist = s.avgHist.Clone() }
+
+func (s *sagaState) Import(cp *Checkpoint) error {
+	if err := importModel(s.w, cp); err != nil {
+		return err
+	}
+	if cp.AvgHist != nil && cp.HistoryAttached() {
+		s.avgHist.CopyFrom(cp.AvgHist)
+	} else {
+		s.avgHist.Zero()
 	}
 	return nil
 }
@@ -122,6 +149,61 @@ func (s *sagaState) applyDelta(alpha float64, part SagaDelta, batch int) error {
 	return nil
 }
 
+// sagaRoundUpdater is the bulk-synchronous SAGA round state: current- and
+// historical-gradient partials fold into two roundAccums (sparse partials
+// merge without densifying), and the flush applies one combined update —
+// dense math when any partial was dense, the O(nnz) lazy-drift path when
+// the whole round was sparse.
+type sagaRoundUpdater struct {
+	*sagaState
+	sum, hist *roundAccum
+	batch     int
+}
+
+func (u *sagaRoundUpdater) Apply(payload any, attrs *core.Attrs, _ float64) error {
+	switch part := payload.(type) {
+	case SagaPartial:
+		u.sum.AddDense(part.Sum)
+		u.hist.AddDense(part.HistSum)
+	case SagaDelta:
+		u.sum.AddSparse(part.Sum)
+		u.hist.AddSparse(part.HistSum)
+	default:
+		return fmt.Errorf("unexpected SAGA payload %T", payload)
+	}
+	u.batch += attrs.MiniBatch
+	return nil
+}
+
+func (u *sagaRoundUpdater) FlushRound(alpha float64) (bool, error) {
+	batch := u.batch
+	u.batch = 0
+	defer func() {
+		u.sum.Reset()
+		u.hist.Reset()
+	}()
+	if batch == 0 {
+		return false, nil
+	}
+	if u.sum.Dense() != nil || u.hist.Dense() != nil {
+		// any dense partial forces the dense combined apply (BSP rounds
+		// were O(d) on the driver historically; the sparse win was worker
+		// compute and wire bytes)
+		combined := SagaPartial{Sum: u.sum.Densify(), HistSum: u.hist.Densify()}
+		return true, u.apply(alpha, combined, batch)
+	}
+	if u.sum.Sparse() == nil {
+		return false, nil
+	}
+	// all-sparse round: one merged O(nnz) update with lazy avgHist drift
+	delta := SagaDelta{Sum: u.sum.Sparse(), HistSum: u.hist.Sparse()}
+	if delta.HistSum == nil {
+		// rows with no recorded history contributed no historical partials
+		delta.HistSum = &la.DeltaVec{N: len(u.w)}
+	}
+	return true, u.applyDelta(alpha, delta, batch)
+}
+
 // SAGA is the synchronous variant of Algorithm 3, but implemented with the
 // ASYNCbroadcaster instead of re-broadcasting the model-parameter table
 // each round — the optimization §4.3 exists for. Rounds are BSP: every
@@ -134,62 +216,28 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := p.recorder()
-	rec.Force(0, st.w)
-	for k := int64(0); k < int64(p.Updates); k++ {
-		wBr := ac.ASYNCbroadcast("saga.w", st.w.Clone())
-		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: SAGA round %d: %w", k, err)
-		}
-		n, err := ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac))
-		if err != nil {
-			return nil, err
-		}
-		combined := SagaPartial{Sum: la.GetVec(d.NumCols()), HistSum: la.GetVec(d.NumCols())}
-		total := 0
-		for i := 0; i < n; i++ {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			switch part := tr.Payload.(type) {
-			case SagaPartial:
-				la.Axpy(1, part.Sum, combined.Sum)
-				la.Axpy(1, part.HistSum, combined.HistSum)
-				la.PutVec(part.Sum)
-				la.PutVec(part.HistSum)
-			case SagaDelta:
-				// sparse partials expand into the round accumulator; the
-				// round's single apply stays dense (BSP rounds are O(d) on
-				// the driver regardless — the sparse win here is worker
-				// compute and wire bytes)
-				part.Sum.AxpyDense(1, combined.Sum)
-				part.HistSum.AxpyDense(1, combined.HistSum)
-				la.PutDelta(part.Sum)
-				la.PutDelta(part.HistSum)
-			default:
-				return nil, fmt.Errorf("opt: SAGA payload %T", tr.Payload)
-			}
-			total += tr.Attrs.MiniBatch
-		}
-		if total == 0 {
-			la.PutVec(combined.Sum)
-			la.PutVec(combined.HistSum)
-			continue
-		}
-		err = st.apply(p.Step.Alpha(k), combined, total)
-		la.PutVec(combined.Sum)
-		la.PutVec(combined.HistSum)
-		if err != nil {
-			return nil, err
-		}
-		upd := ac.AdvanceClock()
-		rec.Maybe(upd, st.w)
+	u := &sagaRoundUpdater{
+		sagaState: st,
+		sum:       newRoundAccum(d.NumCols()),
+		hist:      newRoundAccum(d.NumCols()),
 	}
-	rec.Finish(ac.Updates(), st.w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "SAGA", d, rec, p.Loss, fstar), W: st.w}, nil
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "SAGA", Name: "saga", Key: "saga.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubPlain,
+		Barrier: core.BSP(), Round: true, RoundBudget: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac))
+		},
+	})
+}
+
+// sagaStreamUpdater applies one collected SAGA partial per model update
+// (the asynchronous variants, local and remote).
+type sagaStreamUpdater struct{ *sagaState }
+
+func (u sagaStreamUpdater) Apply(payload any, attrs *core.Attrs, alpha float64) error {
+	return applySagaPayload(u.sagaState, alpha, payload, attrs.MiniBatch)
 }
 
 // ASAGA is asynchronous SAGA (Algorithm 4): workers compute current and
@@ -204,44 +252,14 @@ func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resu
 	if err := st.init(p); err != nil {
 		return nil, err
 	}
-	rec := p.recorder()
-	rec.Force(0, st.w)
-	updates := int64(0)
-	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcastStamped("saga.w", updates, func() any {
-			st.settle()
-			return st.w.Clone()
-		})
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: ASAGA after %d updates: %w", updates, err)
-		}
-		if _, err := ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac)); err != nil {
-			return nil, err
-		}
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			alpha := p.Step.Alpha(updates)
-			if p.StalenessLR {
-				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-			}
-			if err := applySagaPayload(st, alpha, tr.Payload, tr.Attrs.MiniBatch); err != nil {
-				return nil, fmt.Errorf("opt: ASAGA: %w", err)
-			}
-			updates = ac.AdvanceClock()
-			if rec.Due(updates) {
-				st.settle()
-			}
-			rec.Maybe(updates, st.w)
-		}
-	}
-	st.settle()
-	rec.Finish(updates, st.w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "ASAGA", d, rec, p.Loss, fstar), W: st.w}, nil
+	return runLoop(ac, d, sagaStreamUpdater{st}, &loopSpec{
+		Algo: "ASAGA", Name: "asaga", Key: "saga.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubStamped,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, SagaKernel(p.Loss, wBr, p.SampleFrac))
+		},
+	})
 }
 
 // applySagaPayload dispatches a collected partial to the dense or sparse

@@ -3,7 +3,6 @@ package opt
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -43,6 +42,24 @@ type Params struct {
 	// progresses — the hook a supervising layer (e.g. the job scheduler)
 	// uses to stream live convergence state. Never serialized.
 	OnProgress ProgressFunc
+
+	// CheckpointEvery, when positive, has the driver runtime capture a
+	// Checkpoint every that many model updates and deliver it to
+	// OnCheckpoint. The model is settled before every capture.
+	CheckpointEvery int
+	// OnCheckpoint observes periodic checkpoints. Never serialized.
+	OnCheckpoint func(*Checkpoint)
+
+	// Preempt, when non-nil, is polled at every update boundary; once
+	// triggered the run settles, captures a checkpoint, drains, and returns
+	// a *PreemptedError carrying it — the hook a preemptive scheduler uses
+	// to take the engine away mid-run.
+	Preempt *PreemptSignal
+
+	// Resume warm-starts the full driver state (model, update clock,
+	// solver-specific accumulators) from a checkpoint; the run continues
+	// until the global budget Updates is reached. Supersedes InitW.
+	Resume *Checkpoint
 }
 
 // initModel builds the starting model for a run.
@@ -81,6 +98,15 @@ func (s *stepper) apply(w, g la.Vec, alpha float64) {
 	la.Axpy(1, s.vel, w)
 }
 
+// export/import of the velocity — the stepper's only driver state.
+func (s *stepper) export(cp *Checkpoint) { cp.SetVec("vel", s.vel) }
+
+func (s *stepper) importFrom(cp *Checkpoint) {
+	if v := cp.Vec("vel"); v != nil && s.vel != nil {
+		s.vel.CopyFrom(v)
+	}
+}
+
 func (p *Params) defaults() error {
 	if p.Loss == nil {
 		p.Loss = LeastSquares{}
@@ -103,6 +129,9 @@ func (p *Params) defaults() error {
 	if p.SnapshotEvery <= 0 {
 		p.SnapshotEvery = 10
 	}
+	if p.CheckpointEvery < 0 {
+		return fmt.Errorf("opt: CheckpointEvery %d must be non-negative", p.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -112,35 +141,72 @@ type Result struct {
 	W     la.Vec
 }
 
-// drain discards leftover in-flight results so the AC is clean for the next
-// run. It returns once nothing is pending or the timeout passes.
-func drain(ac *core.Context, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for ac.Pending() > 0 || ac.HasNext() {
-		if ac.HasNext() {
-			if _, err := ac.ASYNCcollect(); err != nil {
-				return
-			}
-			continue
-		}
-		if time.Now().After(deadline) {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
+// syncSGDUpdater is the bulk-synchronous SGD round state: partials fold
+// into a roundAccum (sparse partials merge without densifying), and the
+// flush applies one averaged, optionally momentum-accelerated step.
+type syncSGDUpdater struct {
+	w      la.Vec
+	st     *stepper
+	lambda float64
+	acc    *roundAccum
+	batch  int
+	sparse int // samples behind sparse partials (their λ·w is driver-side)
 }
 
-// newTrace assembles trace metadata after a run.
-func newTrace(ac *core.Context, algo string, d *dataset.Dataset, rec *Recorder, loss Loss, fstar float64) *metrics.Trace {
-	return &metrics.Trace{
-		Algorithm: algo,
-		Dataset:   d.Name,
-		Workers:   ac.RDD().Cluster().NumWorkers(),
-		Straggler: "none", // overwritten by harnesses that inject delays
-		Points:    rec.Resolve(d, loss, fstar),
-		AvgWait:   ac.Coordinator().WaitTimes(),
-		Total:     rec.Total(),
+func (u *syncSGDUpdater) Model() la.Vec { return u.w }
+func (u *syncSGDUpdater) Settle()       {}
+
+func (u *syncSGDUpdater) Apply(payload any, attrs *core.Attrs, _ float64) error {
+	switch g := payload.(type) {
+	case la.Vec:
+		// dense partials already carry the loss's own λ·w_task terms
+		u.acc.AddDense(g)
+	case *la.DeltaVec:
+		// sparse partials carry the inner gradient only; their λ·w terms
+		// are restored once per round below (under BSP the workers' model
+		// is exactly w, so this is the dense math)
+		u.acc.AddSparse(g)
+		u.sparse += attrs.MiniBatch
+	default:
+		return fmt.Errorf("unexpected gradient payload %T", payload)
 	}
+	u.batch += attrs.MiniBatch
+	return nil
+}
+
+func (u *syncSGDUpdater) FlushRound(alpha float64) (bool, error) {
+	batch, sparse := u.batch, u.sparse
+	u.batch, u.sparse = 0, 0
+	if batch == 0 {
+		u.acc.Reset()
+		return false, nil // every worker sampled zero rows; retry round
+	}
+	ab := alpha / float64(batch)
+	needDense := u.st.mu > 0 || (u.lambda > 0 && sparse > 0) || (u.acc.Dense() != nil && u.acc.Sparse() != nil)
+	if needDense {
+		g := u.acc.Densify()
+		if u.lambda > 0 && sparse > 0 {
+			la.Axpy(float64(sparse)*u.lambda, u.w, g)
+		}
+		u.st.apply(u.w, g, ab)
+	} else if g := u.acc.Dense(); g != nil {
+		u.st.apply(u.w, g, ab)
+	} else if s := u.acc.Sparse(); s != nil {
+		// pure sparse round: the averaged step touches only the merged
+		// support — O(round nnz) on the driver
+		s.AxpyDense(-ab, u.w)
+	}
+	u.acc.Reset()
+	return true, nil
+}
+
+func (u *syncSGDUpdater) Export(cp *Checkpoint) { u.st.export(cp) }
+func (u *syncSGDUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	u.st.importFrom(cp)
+	return nil
 }
 
 // SyncSGD is mini-batch SGD with bulk-synchronous rounds (Algorithm 1),
@@ -156,59 +222,45 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 	if err != nil {
 		return nil, err
 	}
-	st := newStepper(p.Momentum, d.NumCols())
 	_, lambda, _ := splitLoss(p.Loss)
-	rec := p.recorder()
-	rec.Force(0, w)
-	gSum := la.NewVec(d.NumCols())
-	keep := 4 * ac.RDD().Cluster().NumWorkers()
-	for k := int64(0); k < int64(p.Updates); k++ {
-		wBr := ac.ASYNCbroadcastEager("sgd.w", w.Clone())
-		ac.RDD().PruneBroadcast("sgd.w", keep)
-		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: SyncSGD round %d: %w", k, err)
-		}
-		n, err := ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac))
-		if err != nil {
-			return nil, err
-		}
-		gSum.Zero()
-		total, sparseBatch := 0, 0
-		for i := 0; i < n; i++ {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break // remaining partials were empty samples
-			}
-			switch g := tr.Payload.(type) {
-			case la.Vec:
-				la.Axpy(1, g, gSum)
-				la.PutVec(g) // recycle the pooled task accumulator
-			case *la.DeltaVec:
-				// sparse partials carry the inner gradient only; their λ·w
-				// terms are restored once per round below (under BSP the
-				// workers' model is exactly w, so this is the dense math)
-				g.AxpyDense(1, gSum)
-				la.PutDelta(g)
-				sparseBatch += tr.Attrs.MiniBatch
-			default:
-				return nil, fmt.Errorf("opt: SyncSGD payload %T", tr.Payload)
-			}
-			total += tr.Attrs.MiniBatch
-		}
-		if total == 0 {
-			continue // every worker sampled zero rows; retry round
-		}
-		if lambda > 0 && sparseBatch > 0 {
-			la.Axpy(float64(sparseBatch)*lambda, w, gSum)
-		}
-		st.apply(w, gSum, p.Step.Alpha(k)/float64(total))
-		upd := ac.AdvanceClock()
-		rec.Maybe(upd, w)
+	u := &syncSGDUpdater{
+		w:      w,
+		st:     newStepper(p.Momentum, d.NumCols()),
+		lambda: lambda,
+		acc:    newRoundAccum(d.NumCols()),
 	}
-	rec.Finish(ac.Updates(), w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "SGD", d, rec, p.Loss, fstar), W: w}, nil
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "SGD", Name: "sgd", Key: "sgd.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubEager, Prune: true,
+		Barrier: core.BSP(), Round: true, RoundBudget: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac))
+		},
+	})
+}
+
+// asgdUpdater applies one collected gradient payload per model update
+// through the shared SGD applier (dense eager, sparse lazy-L2).
+type asgdUpdater struct {
+	w  la.Vec
+	ap *sgdApplier
+}
+
+func (u *asgdUpdater) Model() la.Vec { return u.w }
+func (u *asgdUpdater) Settle()       { u.ap.settle(u.w) }
+
+func (u *asgdUpdater) Apply(payload any, attrs *core.Attrs, alpha float64) error {
+	return u.ap.apply(u.w, payload, alpha, attrs.MiniBatch)
+}
+
+func (u *asgdUpdater) Export(cp *Checkpoint) { u.ap.st.export(cp) }
+func (u *asgdUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	u.ap.st.importFrom(cp)
+	return nil
 }
 
 // ASGD is asynchronous mini-batch SGD (Algorithm 2): the driver broadcasts
@@ -223,53 +275,13 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	ap := newSGDApplier(&p, d.NumCols())
-	rec := p.recorder()
-	rec.Force(0, w)
-	updates := int64(0)
-	// in-flight tasks reference at most one version per worker, so pruning
-	// the driver store to a few multiples of the pool is safe for SGD
-	// (no history reads)
-	keep := 4 * ac.RDD().Cluster().NumWorkers()
-	for updates < int64(p.Updates) {
-		// versioned broadcast: if no update landed since the last loop
-		// iteration the previous (id, version) handle is reused, workers
-		// hit their caches, and no clone is taken
-		wBr := ac.ASYNCbroadcastStamped("sgd.w", updates, func() any {
-			ap.settle(w)
-			return w.Clone()
-		})
-		ac.RDD().PruneBroadcast("sgd.w", keep)
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: ASGD after %d updates: %w", updates, err)
-		}
-		if _, err := ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac)); err != nil {
-			return nil, err
-		}
-		// Block for the first result, then drain whatever else has arrived
-		// (the paper's `while AC.hasNext()` loop).
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			alpha := p.Step.Alpha(updates)
-			if p.StalenessLR {
-				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-			}
-			if err := ap.apply(w, tr.Payload, alpha, tr.Attrs.MiniBatch); err != nil {
-				return nil, fmt.Errorf("opt: ASGD: %w", err)
-			}
-			updates = ac.AdvanceClock()
-			if rec.Due(updates) {
-				ap.settle(w)
-			}
-			rec.Maybe(updates, w)
-		}
-	}
-	ap.settle(w)
-	rec.Finish(updates, w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "ASGD", d, rec, p.Loss, fstar), W: w}, nil
+	u := &asgdUpdater{w: w, ap: newSGDApplier(&p, d.NumCols())}
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "ASGD", Name: "asgd", Key: "sgd.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubStamped, Prune: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, GradKernel(p.Loss, wBr, p.SampleFrac))
+		},
+	})
 }

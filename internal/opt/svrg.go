@@ -2,7 +2,6 @@ package opt
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -14,6 +13,112 @@ type VRParams struct {
 	Params
 	Epochs          int // outer epochs, each starting with a full pass
 	UpdatesPerEpoch int // asynchronous inner updates per epoch
+}
+
+// vrUpdater is the variance-reduced inner-loop state: the anchor w̃ and its
+// full gradient μ (recomputed per epoch by begin), the model, and the
+// deferred −α·μ drift of the sparse task path. A checkpoint carries anchor
+// and μ, so a mid-epoch resume continues against the exact epoch state
+// instead of re-anchoring.
+type vrUpdater struct {
+	ac       *core.Context
+	loss     Loss
+	filter   core.WorkerFilter
+	epochLen int64
+
+	w, mu    la.Vec
+	anchor   la.Vec
+	anchorBr core.DynBroadcast
+	drift    lazyDrift
+	resumed  bool // anchor/μ imported from a checkpoint, valid mid-epoch
+}
+
+func (u *vrUpdater) Model() la.Vec { return u.w }
+func (u *vrUpdater) Settle()       { u.drift.settleAll(u.w, u.mu) }
+
+func (u *vrUpdater) Apply(payload any, attrs *core.Attrs, alpha float64) error {
+	ab := alpha / float64(attrs.MiniBatch)
+	switch diff := payload.(type) {
+	case la.Vec:
+		u.Settle()
+		la.Axpy(-ab, diff, u.w)
+		la.Axpy(-alpha, u.mu, u.w)
+		la.PutVec(diff)
+		return nil
+	case *la.DeltaVec:
+		// O(nnz): the sparse variance-reduced step touches only the sampled
+		// rows' support; the dense −α·μ term is deferred per coordinate
+		u.drift.ensure(len(u.w))
+		u.drift.advance(alpha)
+		for k, j := range diff.Idx {
+			u.drift.settleCoord(u.w, u.mu, j)
+			u.w[j] -= ab * diff.Val[k]
+		}
+		la.PutDelta(diff)
+		return nil
+	default:
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+}
+
+func (u *vrUpdater) Export(cp *Checkpoint) {
+	cp.SetVec("mu", u.mu)
+	cp.SetVec("anchor", u.anchor)
+}
+
+func (u *vrUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	if mu, anchor := cp.Vec("mu"), cp.Vec("anchor"); mu != nil && anchor != nil {
+		u.mu.CopyFrom(mu)
+		u.anchor = anchor.Clone()
+		u.resumed = true
+	}
+	return nil
+}
+
+// begin opens an epoch: settle the previous epoch's drift, take (or, on a
+// mid-epoch resume, keep) the anchor, broadcast it eagerly, and recompute
+// μ = ∇F(w̃) with a synchronous full pass — unless μ arrived with a
+// mid-epoch checkpoint, in which case the pass is skipped and the resumed
+// run continues bit-for-bit where the original stopped.
+func (u *vrUpdater) begin(global int64) error {
+	u.Settle()
+	keep := u.resumed && u.epochLen > 0 && global%u.epochLen != 0
+	u.resumed = false
+	if !keep {
+		u.anchor = u.w.Clone()
+	}
+	u.anchorBr = u.ac.ASYNCbroadcastEager("vr.anchor", u.anchor)
+	if keep {
+		return nil // μ was imported alongside the anchor
+	}
+	u.mu.Zero()
+	total := 0
+	err := bspRound(u.ac,
+		u.filter,
+		func(sel *core.Selection) (int, error) {
+			return u.ac.ASYNCreduce(sel, FullGradKernel(u.loss, u.anchorBr))
+		},
+		func(payload any, attrs *core.Attrs) error {
+			g, ok := payload.(la.Vec)
+			if !ok {
+				return fmt.Errorf("unexpected full-pass payload %T", payload)
+			}
+			la.Axpy(1, g, u.mu)
+			la.PutVec(g)
+			total += attrs.MiniBatch
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("opt: EpochVR anchor at update %d: %w", global, err)
+	}
+	if total == 0 {
+		return fmt.Errorf("opt: EpochVR at update %d: empty full pass", global)
+	}
+	la.Scale(1/float64(total), u.mu)
+	return nil
 }
 
 // EpochVR is the epoch-based variance-reduced scheme of Listing 3 (SVRG
@@ -31,98 +136,23 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 	if p.Epochs <= 0 || p.UpdatesPerEpoch <= 0 {
 		return nil, fmt.Errorf("opt: EpochVR needs positive Epochs and UpdatesPerEpoch")
 	}
-	w := la.NewVec(d.NumCols())
-	rec := p.recorder()
-	rec.Force(0, w)
-	mu := la.NewVec(d.NumCols())
-	// deferred −α·μ drift of the sparse inner-update path; μ is constant
-	// within an epoch, so the drift must be settled before each re-anchor
-	var drift lazyDrift
-	updates := int64(0)
-	for epoch := 0; epoch < p.Epochs; epoch++ {
-		// --- synchronous full pass at the anchor (Spark-style reduce) ---
-		drift.settleAll(w, mu)
-		anchor := w.Clone()
-		anchorBr := ac.ASYNCbroadcastEager("vr.anchor", anchor)
-		sel, err := ac.ASYNCbarrier(core.BSP(), p.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("opt: EpochVR epoch %d anchor: %w", epoch, err)
-		}
-		n, err := ac.ASYNCreduce(sel, FullGradKernel(p.Loss, anchorBr))
-		if err != nil {
-			return nil, err
-		}
-		mu.Zero()
-		total := 0
-		for i := 0; i < n; i++ {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			g := tr.Payload.(la.Vec)
-			la.Axpy(1, g, mu)
-			la.PutVec(g)
-			total += tr.Attrs.MiniBatch
-		}
-		if total == 0 {
-			return nil, fmt.Errorf("opt: EpochVR epoch %d: empty full pass", epoch)
-		}
-		la.Scale(1/float64(total), mu)
-		// --- asynchronous inner loop ---
-		target := updates + int64(p.UpdatesPerEpoch)
-		for updates < target {
-			wBr := ac.ASYNCbroadcastStamped("vr.w", updates, func() any {
-				drift.settleAll(w, mu)
-				return w.Clone()
-			})
-			sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-			if err != nil {
-				return nil, fmt.Errorf("opt: EpochVR inner: %w", err)
-			}
-			if _, err := ac.ASYNCreduce(sel, VRKernel(p.Loss, wBr, anchorBr, p.SampleFrac)); err != nil {
-				return nil, err
-			}
-			for first := true; (first || ac.HasNext()) && updates < target; first = false {
-				tr, err := ac.ASYNCcollectAll()
-				if err != nil {
-					break
-				}
-				alpha := p.Step.Alpha(updates)
-				if p.StalenessLR {
-					alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-				}
-				ab := alpha / float64(tr.Attrs.MiniBatch)
-				switch diff := tr.Payload.(type) {
-				case la.Vec:
-					drift.settleAll(w, mu)
-					la.Axpy(-ab, diff, w)
-					la.Axpy(-alpha, mu, w)
-					la.PutVec(diff)
-				case *la.DeltaVec:
-					// O(nnz): the sparse variance-reduced step touches only
-					// the sampled rows' support; the dense −α·μ term is
-					// deferred per coordinate
-					drift.ensure(len(w))
-					drift.advance(alpha)
-					for k, j := range diff.Idx {
-						drift.settleCoord(w, mu, j)
-						w[j] -= ab * diff.Val[k]
-					}
-					la.PutDelta(diff)
-				default:
-					return nil, fmt.Errorf("opt: EpochVR payload %T", tr.Payload)
-				}
-				updates = ac.AdvanceClock()
-				if rec.Due(updates) {
-					drift.settleAll(w, mu)
-				}
-				rec.Maybe(updates, w)
-			}
-		}
-		// drain stragglers from this epoch before re-anchoring
-		drain(ac, 5*time.Second)
+	u := &vrUpdater{
+		ac:       ac,
+		loss:     p.Loss,
+		filter:   p.Filter,
+		epochLen: int64(p.UpdatesPerEpoch),
+		w:        la.NewVec(d.NumCols()),
+		mu:       la.NewVec(d.NumCols()),
 	}
-	drift.settleAll(w, mu)
-	rec.Finish(updates, w)
-	return &Result{Trace: newTrace(ac, "EpochVR", d, rec, p.Loss, fstar), W: w}, nil
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "EpochVR", Name: "svrg", Key: "vr.w",
+		P: &p.Params, Loss: p.Loss, FStar: fstar,
+		Target:     int64(p.Epochs) * int64(p.UpdatesPerEpoch),
+		Publish:    pubStamped,
+		EpochLen:   int64(p.UpdatesPerEpoch),
+		EpochBegin: u.begin,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, VRKernel(p.Loss, wBr, u.anchorBr, p.SampleFrac))
+		},
+	})
 }

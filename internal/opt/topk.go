@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -100,6 +99,35 @@ func SparseGradKernel(loss Loss, wBr core.DynBroadcast, frac float64, k int) cor
 	}
 }
 
+// topkUpdater applies top-k sparsified partials and accounts the shipped
+// coordinates. The count is driver state like any other: it rides the
+// checkpoint so a preempted-then-resumed run reports the full run's
+// communication cost, not just the post-resume segment.
+type topkUpdater struct {
+	vecUpdater
+	coords int64
+}
+
+func (u *topkUpdater) Export(cp *Checkpoint) { cp.SetInt("coords", u.coords) }
+
+func (u *topkUpdater) Import(cp *Checkpoint) error {
+	if err := u.vecUpdater.Import(cp); err != nil {
+		return err
+	}
+	u.coords = cp.Int("coords")
+	return nil
+}
+
+func (u *topkUpdater) Apply(payload any, attrs *core.Attrs, alpha float64) error {
+	g, ok := payload.(la.SparseVec)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	u.coords += int64(g.NNZ())
+	g.AxpyDense(-alpha/float64(attrs.MiniBatch), u.w)
+	return nil
+}
+
 // SparseASGD is ASGD with top-k sparsified partials: identical driver loop,
 // but each collected payload is a sparse vector carrying only k = ⌈topKFrac
 // × cols⌉ coordinates. Returns the run result plus the number of gradient
@@ -120,41 +148,14 @@ func SparseASGD(ac *core.Context, d *dataset.Dataset, p Params, topKFrac float64
 	if err != nil {
 		return nil, 0, err
 	}
-	rec := p.recorder()
-	rec.Force(0, w)
-	updates := int64(0)
-	var coordsShipped int64
-	keep := 4 * ac.RDD().Cluster().NumWorkers()
-	for updates < int64(p.Updates) {
-		wBr := ac.ASYNCbroadcast("sgd.w", w.Clone())
-		ac.RDD().PruneBroadcast("sgd.w", keep)
-		sel, err := ac.ASYNCbarrier(p.Barrier, p.Filter)
-		if err != nil {
-			return nil, coordsShipped, fmt.Errorf("opt: SparseASGD after %d updates: %w", updates, err)
-		}
-		if _, err := ac.ASYNCreduce(sel, SparseGradKernel(p.Loss, wBr, p.SampleFrac, k)); err != nil {
-			return nil, coordsShipped, err
-		}
-		for first := true; (first || ac.HasNext()) && updates < int64(p.Updates); first = false {
-			tr, err := ac.ASYNCcollectAll()
-			if err != nil {
-				break
-			}
-			g, ok := tr.Payload.(la.SparseVec)
-			if !ok {
-				return nil, coordsShipped, fmt.Errorf("opt: SparseASGD payload %T", tr.Payload)
-			}
-			coordsShipped += int64(g.NNZ())
-			alpha := p.Step.Alpha(updates)
-			if p.StalenessLR {
-				alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
-			}
-			g.AxpyDense(-alpha/float64(tr.Attrs.MiniBatch), w)
-			updates = ac.AdvanceClock()
-			rec.Maybe(updates, w)
-		}
-	}
-	rec.Finish(updates, w)
-	drain(ac, 5*time.Second)
-	return &Result{Trace: newTrace(ac, "ASGD-topk", d, rec, p.Loss, fstar), W: w}, coordsShipped, nil
+	u := &topkUpdater{vecUpdater: vecUpdater{w: w}}
+	res, err := runLoop(ac, d, u, &loopSpec{
+		Algo: "ASGD-topk", Name: "sparse-asgd", Key: "sgd.w",
+		P: &p, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubPlain, Prune: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, SparseGradKernel(p.Loss, wBr, p.SampleFrac, k))
+		},
+	})
+	return res, u.coords, err
 }
