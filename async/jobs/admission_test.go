@@ -1,0 +1,205 @@
+package jobs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+)
+
+var (
+	gateTenant    = newGate("gate-tenant")
+	gatePage      = newGate("gate-page")
+	gateSLOVictim = newPGate("pgate-slo-victim")
+	gateSLOUrgent = newGate("gate-slo-urgent")
+)
+
+func init() {
+	for _, g := range []*gate{gateTenant, gatePage, gateSLOUrgent} {
+		if err := async.Register(g); err != nil {
+			panic(err)
+		}
+	}
+	if err := async.Register(gateSLOVictim); err != nil {
+		panic(err)
+	}
+}
+
+// TestTenantQuotaFairness pins per-tenant admission under saturation: one
+// tenant filling its queue quota gets 429-style rejections while another
+// tenant's submissions are still admitted.
+func TestTenantQuotaFairness(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, QueueDepth: 64, TenantQuota: 2})
+
+	// occupy the only engine so everything else queues
+	if _, err := s.Submit(gateSpec(gateTenant, 11)); err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateTenant, 11)
+
+	submitAs := func(tenant string, tag int) error {
+		spec := gateSpec(gateTenant, tag)
+		spec.Tenant = tenant
+		_, err := s.Submit(spec)
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := submitAs("alice", 12+i); err != nil {
+			t.Fatalf("alice submit %d within quota: %v", i, err)
+		}
+	}
+	err := submitAs("alice", 14)
+	if !errors.Is(err, jobs.ErrQueueFull) {
+		t.Fatalf("alice over quota: %v, want ErrQueueFull", err)
+	}
+	if !strings.Contains(err.Error(), `tenant "alice"`) {
+		t.Fatalf("quota error %q does not name the tenant", err)
+	}
+	// fairness: alice saturating her quota must not block bob
+	for i := 0; i < 2; i++ {
+		if err := submitAs("bob", 15+i); err != nil {
+			t.Fatalf("bob submit %d while alice saturated: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	al, bo := st.Tenants["alice"], st.Tenants["bob"]
+	if al.Submitted != 2 || al.Rejected != 1 || al.Queued != 2 {
+		t.Fatalf("alice stats %+v, want submitted=2 rejected=1 queued=2", al)
+	}
+	if bo.Submitted != 2 || bo.Rejected != 0 || bo.Queued != 2 {
+		t.Fatalf("bob stats %+v, want submitted=2 rejected=0 queued=2", bo)
+	}
+}
+
+// TestSLOAutoPreemption: a running job with no deadline is preempted for an
+// equal-priority head-of-queue job whose SLO deadline is inside the slack
+// window, then resumes from its checkpoint once the urgent job finishes.
+func TestSLOAutoPreemption(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, SLOSlack: 5 * time.Second})
+	victimID, err := s.Submit(gateSpec2(gateSLOVictim.name, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStartTag(t, gateSLOVictim.starts, 21)
+
+	urgent := gateSpec(gateSLOUrgent, 22)
+	urgent.SLOMillis = 1000 // deadline slack ~1s < 5s SLOSlack window
+	urgentID, err := s.Submit(urgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectStart(t, gateSLOUrgent, 22) // urgent got the engine
+	if job, err := s.Status(victimID); err != nil || job.State != jobs.StatePreempted {
+		t.Fatalf("victim state %+v (err %v), want preempted", job, err)
+	}
+	release(t, gateSLOUrgent)
+	waitState(t, s, urgentID, jobs.StateDone)
+	expectResume(t, gateSLOVictim, 21)
+	releasePG(t, gateSLOVictim)
+	waitState(t, s, victimID, jobs.StateDone)
+}
+
+// TestListFilterPagination drives GET /v1/jobs with state filters, limits,
+// and cursors, and checks the bare listing keeps its original array shape.
+func TestListFilterPagination(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1, QueueDepth: 16})
+	srv := httptest.NewServer(jobs.NewHandler(s))
+	defer srv.Close()
+
+	running := postJob(t, srv.URL, gateSpec(gatePage, 31))
+	expectStart(t, gatePage, 31)
+	var queued []jobs.ID
+	for i := 0; i < 4; i++ {
+		spec := gateSpec(gatePage, 32+i)
+		if i%2 == 0 {
+			spec.Tenant = "even"
+		}
+		queued = append(queued, postJob(t, srv.URL, spec))
+	}
+
+	type page struct {
+		Jobs []jobs.Job `json:"jobs"`
+		Next jobs.ID    `json:"next"`
+	}
+	getPage := func(query string) page {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/jobs?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs?%s: status %d", query, resp.StatusCode)
+		}
+		var p page
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p1 := getPage("state=queued&limit=2")
+	if len(p1.Jobs) != 2 || p1.Jobs[0].ID != queued[0] || p1.Jobs[1].ID != queued[1] {
+		t.Fatalf("page 1 %+v, want first two queued jobs", p1.Jobs)
+	}
+	if p1.Next == "" {
+		t.Fatal("page 1 has more results but no cursor")
+	}
+	p2 := getPage(fmt.Sprintf("state=queued&limit=2&cursor=%s", p1.Next))
+	if len(p2.Jobs) != 2 || p2.Jobs[0].ID != queued[2] || p2.Jobs[1].ID != queued[3] {
+		t.Fatalf("page 2 %+v, want last two queued jobs", p2.Jobs)
+	}
+	if p2.Next != "" {
+		t.Fatalf("page 2 cursor %q, want exhausted", p2.Next)
+	}
+	if p := getPage("state=running"); len(p.Jobs) != 1 || p.Jobs[0].ID != running {
+		t.Fatalf("running filter %+v, want the one running job", p.Jobs)
+	}
+	if p := getPage("tenant=even"); len(p.Jobs) != 2 {
+		t.Fatalf("tenant filter got %d jobs, want 2", len(p.Jobs))
+	}
+	if p := getPage("state=done"); len(p.Jobs) != 0 || p.Next != "" {
+		t.Fatalf("done filter %+v, want empty", p)
+	}
+	// a cursor naming an evicted/unknown job still positions by its ordinal
+	if p := getPage("state=queued&cursor=job-000099"); len(p.Jobs) != 0 {
+		t.Fatalf("cursor past the end returned %d jobs, want 0", len(p.Jobs))
+	}
+	// an unparseable cursor falls back to the start of the listing
+	if p := getPage("cursor=not-a-job-id"); len(p.Jobs) != 5 {
+		t.Fatalf("garbage cursor returned %d jobs, want all 5", len(p.Jobs))
+	}
+
+	// invalid parameters are rejected
+	for _, q := range []string{"state=bogus", "limit=-1", "limit=abc"} {
+		resp, err := http.Get(srv.URL + "/v1/jobs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// the bare listing keeps the original flat-array contract
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(flat) != 5 {
+		t.Fatalf("bare list has %d jobs, want 5", len(flat))
+	}
+}

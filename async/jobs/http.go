@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/async"
 	"repro/internal/dataset"
@@ -16,14 +17,17 @@ import (
 //
 //	POST   /v1/jobs                 submit a Spec, returns {"id": ...} (202);
 //	                                "resume_from" resumes another job's checkpoint
-//	GET    /v1/jobs                 list job snapshots
+//	GET    /v1/jobs                 list job snapshots; ?state= and ?tenant=
+//	                                filter, ?limit= + ?cursor= paginate (the
+//	                                paged form returns {"jobs": ..., "next": ...})
 //	GET    /v1/jobs/{id}            one job snapshot
 //	GET    /v1/jobs/{id}/events     live event stream (Server-Sent Events)
 //	POST   /v1/jobs/{id}/preempt    checkpoint the running job aside (202)
 //	GET    /v1/jobs/{id}/checkpoint latest driver checkpoint (binary format)
 //	DELETE /v1/jobs/{id}            cancel (202)
 //	GET    /v1/healthz              liveness + capacity summary
-//	GET    /v1/metrics              serving counters (Stats)
+//	GET    /v1/stats                serving counters (Stats, JSON)
+//	GET    /v1/metrics              Prometheus text exposition format
 //
 // The handler owns no lifecycle: closing the scheduler is the caller's
 // job. Every error body is {"error": "..."}.
@@ -48,7 +52,35 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List())
+		qp := r.URL.Query()
+		if len(qp) == 0 {
+			// bare listing keeps the original shape: a plain array
+			writeJSON(w, http.StatusOK, s.List())
+			return
+		}
+		var q ListQuery
+		if v := qp.Get("state"); v != "" {
+			st := State(v)
+			switch st {
+			case StateQueued, StateRunning, StatePreempted, StateDone, StateFailed, StateCanceled:
+				q.State = st
+			default:
+				httpError(w, http.StatusBadRequest, fmt.Errorf("jobs: unknown state %q", v))
+				return
+			}
+		}
+		q.Tenant = qp.Get("tenant")
+		if v := qp.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("jobs: bad limit %q", v))
+				return
+			}
+			q.Limit = n
+		}
+		q.After = ID(qp.Get("cursor"))
+		page, next := s.ListPage(q)
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": page, "next": next})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, err := s.Status(ID(r.PathValue("id")))
@@ -146,8 +178,13 @@ func NewHandler(s *Scheduler) http.Handler {
 			"datasets":     dataset.CatalogNames(),
 		})
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.WritePrometheus(w)
 	})
 	return mux
 }

@@ -177,8 +177,8 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("healthz capabilities missing: %+v", health)
 	}
 
-	// metrics reflect the served jobs
-	mResp, err := http.Get(srv.URL + "/v1/metrics")
+	// stats reflect the served jobs
+	mResp, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 	mResp.Body.Close()
 	if stats.Submitted != 4 || stats.Done != 3 || stats.Canceled != 1 {
-		t.Fatalf("metrics %+v, want submitted=4 done=3 canceled=1", stats)
+		t.Fatalf("stats %+v, want submitted=4 done=3 canceled=1", stats)
 	}
 
 	// error paths: bad spec, unknown job

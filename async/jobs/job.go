@@ -113,13 +113,20 @@ type job struct {
 	dataKey string
 	seq     int64
 
-	state    State
-	engine   int
-	skipped  int // times affinity routing jumped a later job past this head
-	err      string
-	queued   time.Time
-	started  time.Time
-	finished time.Time
+	state   State
+	engine  int
+	skipped int // times affinity routing jumped a later job past this head
+	err     string
+	// submitted is the original submission wall time (never reset; SLO
+	// deadlines and durable records anchor to it), queued the last enqueue
+	// (reset on preemption, for queue-wait accounting).
+	submitted time.Time
+	queued    time.Time
+	started   time.Time
+	finished  time.Time
+	// deadline is submitted + Spec.SLOMillis (zero when the spec named no
+	// SLO); it survives restarts because replay re-derives it.
+	deadline time.Time
 	updates  int64
 	finalErr *float64
 	wait     *metrics.WaitSummary
@@ -139,6 +146,12 @@ type job struct {
 	preemptAsked time.Time
 	preemptions  int
 	resumedFrom  ID
+
+	// durable-checkpoint bookkeeping (store-backed schedulers only): the
+	// dispatch-seq key and update clock of the last spill on disk.
+	cpSeq     int64
+	cpUpdates int64
+	cpSpilled bool
 
 	events   []Event
 	eventSeq int

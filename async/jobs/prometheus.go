@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the scheduler's serving and durability counters
+// in the Prometheus text exposition format (version 0.0.4), hand-rolled so
+// the daemon stays dependency-free. Scrape it at /v1/metrics.
+func (s *Scheduler) WritePrometheus(w io.Writer) {
+	st := s.Stats()
+	var sm *storeMetricsView
+	s.mu.Lock()
+	uptime := time.Since(s.startedAt).Seconds()
+	if s.cfg.Store != nil {
+		m := s.cfg.Store.Metrics()
+		sm = &storeMetricsView{
+			appends:     m.Appends,
+			fsyncs:      m.Fsyncs,
+			fsyncTotal:  m.FsyncTotal.Seconds(),
+			sizeBytes:   m.SizeBytes,
+			compactions: m.Compactions,
+			spills:      m.CheckpointSpills,
+			replayed:    m.ReplayedRecords,
+		}
+	}
+	s.mu.Unlock()
+
+	counter := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	counter("asyncd_jobs_submitted_total", "Jobs accepted by Submit.", st.Submitted)
+	counter("asyncd_jobs_rejected_total", "Jobs rejected by admission control (queue depth or tenant quota).", st.Rejected)
+	counter("asyncd_jobs_done_total", "Jobs completed successfully.", st.Done)
+	counter("asyncd_jobs_failed_total", "Jobs that terminated with an error.", st.Failed)
+	counter("asyncd_jobs_canceled_total", "Jobs canceled before completion.", st.Canceled)
+	counter("asyncd_jobs_preempted_total", "Mid-run preemptions (priority, SLO, or explicit).", st.Preempted)
+	gauge("asyncd_jobs_queued", "Jobs waiting for an engine (preempted included).", st.Queued)
+	gauge("asyncd_jobs_running", "Jobs holding an engine.", st.Running)
+	gauge("asyncd_engines_live", "Engines spun up in the pool.", st.EnginesLive)
+	gauge("asyncd_engines_max", "Engine-pool ceiling.", st.EnginesMax)
+	gauge("asyncd_queue_depth_limit", "Bound on the waiting queue.", st.QueueDepth)
+	gauge("asyncd_queue_wait_avg_seconds", "Mean queue wait of dispatched runs.", st.AvgQueueWaitMS/1000.0)
+	gauge("asyncd_queue_wait_max_seconds", "Max queue wait of dispatched runs.", st.MaxQueueWaitMS/1000.0)
+	gauge("asyncd_uptime_seconds", "Seconds since the scheduler was built.", uptime)
+	if uptime > 0 {
+		gauge("asyncd_jobs_completed_per_second", "Completed jobs per second of uptime.", float64(st.Done)/uptime)
+	}
+
+	if len(st.Tenants) > 0 {
+		names := make([]string, 0, len(st.Tenants))
+		for t := range st.Tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP asyncd_tenant_jobs_submitted_total Jobs accepted, by tenant.\n# TYPE asyncd_tenant_jobs_submitted_total counter\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "asyncd_tenant_jobs_submitted_total{tenant=\"%s\"} %d\n", escapeLabel(t), st.Tenants[t].Submitted)
+		}
+		fmt.Fprintf(w, "# HELP asyncd_tenant_jobs_rejected_total Jobs rejected, by tenant.\n# TYPE asyncd_tenant_jobs_rejected_total counter\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "asyncd_tenant_jobs_rejected_total{tenant=\"%s\"} %d\n", escapeLabel(t), st.Tenants[t].Rejected)
+		}
+		fmt.Fprintf(w, "# HELP asyncd_tenant_jobs_queued Jobs waiting, by tenant.\n# TYPE asyncd_tenant_jobs_queued gauge\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "asyncd_tenant_jobs_queued{tenant=\"%s\"} %d\n", escapeLabel(t), st.Tenants[t].Queued)
+		}
+		fmt.Fprintf(w, "# HELP asyncd_tenant_jobs_running Jobs holding an engine, by tenant.\n# TYPE asyncd_tenant_jobs_running gauge\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "asyncd_tenant_jobs_running{tenant=\"%s\"} %d\n", escapeLabel(t), st.Tenants[t].Running)
+		}
+	}
+
+	if sm != nil {
+		counter("asyncd_wal_appends_total", "Durably acknowledged log records.", sm.appends)
+		counter("asyncd_wal_fsync_seconds_count", "Fsyncs paid by the append path.", sm.fsyncs)
+		counter("asyncd_wal_fsync_seconds_sum", "Total fsync latency, seconds.", sm.fsyncTotal)
+		gauge("asyncd_wal_size_bytes", "Current log size.", sm.sizeBytes)
+		counter("asyncd_wal_compactions_total", "Log rewrites to the live set.", sm.compactions)
+		counter("asyncd_wal_checkpoint_spills_total", "Durable checkpoint files written.", sm.spills)
+		gauge("asyncd_wal_replayed_records", "Records the last open recovered.", sm.replayed)
+		counter("asyncd_store_errors_total", "Store operations that failed after recovery.", st.StoreErrors)
+		gauge("asyncd_recovery_seconds", "Wall time of the boot-time log replay.", st.RecoveryMS/1000.0)
+		gauge("asyncd_recovered_jobs", "Jobs rebuilt by the boot-time replay.", st.RecoveredJobs)
+	}
+}
+
+// storeMetricsView carries the store counters out of the locked section.
+type storeMetricsView struct {
+	appends     int64
+	fsyncs      int64
+	fsyncTotal  float64
+	sizeBytes   int64
+	compactions int64
+	spills      int64
+	replayed    int64
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,313 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/async/jobs/store"
+	"repro/internal/opt"
+)
+
+// replayJob accumulates one job's state while the log replays: the last
+// state-defining record wins, checkpointed records ride along.
+type replayJob struct {
+	id          ID
+	jobSeq      int64
+	spec        []byte
+	submitted   int64 // unix nanos
+	state       State
+	updates     int64
+	cpSeq       int64 // dispatch seq keying the last durable spill
+	cpUpdates   int64
+	hasCp       bool
+	preemptions int
+	detail      string
+	finalErr    float64
+	hasFinal    bool
+	finished    int64 // unix nanos of the terminal record
+}
+
+// recover rebuilds the scheduler from the store's log: terminal jobs
+// reload into the retention store, queued jobs re-enqueue in priority/FIFO
+// order, and jobs that were running or preempted at the crash re-enqueue
+// as preempted with their last durable checkpoint — they resume through
+// the normal Params.Resume path, losing at most CheckpointEvery updates.
+// Called once from New, before the scheduler serves.
+func (s *Scheduler) recover() error {
+	start := time.Now()
+	byID := map[ID]*replayJob{}
+	var order []*replayJob
+	err := s.cfg.Store.Replay(func(rec store.Record) error {
+		id := ID(rec.Job)
+		rj := byID[id]
+		if rj == nil {
+			if rec.Type != store.TypeSubmitted {
+				// orphan transition (its submit was compacted away with a
+				// terminal record the retention limit then dropped): skip
+				return nil
+			}
+			rj = &replayJob{id: id, state: StateQueued}
+			byID[id] = rj
+			order = append(order, rj)
+		}
+		switch rec.Type {
+		case store.TypeSubmitted:
+			rj.jobSeq = rec.JobSeq
+			rj.spec = rec.Spec
+			rj.submitted = rec.Time
+		case store.TypeDispatched:
+			rj.state = StateRunning
+		case store.TypeCheckpointed:
+			rj.cpSeq, rj.cpUpdates, rj.hasCp = rec.DispatchSeq, rec.Updates, true
+			if rec.Updates > rj.updates {
+				rj.updates = rec.Updates
+			}
+		case store.TypePreempted:
+			rj.state = StatePreempted
+			rj.preemptions++
+			rj.cpSeq, rj.cpUpdates, rj.hasCp = rec.DispatchSeq, rec.Updates, true
+			if rec.Updates > rj.updates {
+				rj.updates = rec.Updates
+			}
+		case store.TypeDone:
+			rj.state = StateDone
+			rj.updates = rec.Updates
+			rj.finalErr, rj.hasFinal = rec.FinalError, rec.HasFinal
+			rj.finished = rec.Time
+		case store.TypeFailed:
+			rj.state, rj.detail, rj.finished = StateFailed, rec.Detail, rec.Time
+		case store.TypeCanceled:
+			rj.state, rj.detail, rj.finished = StateCanceled, rec.Detail, rec.Time
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("jobs: recovery replay: %w", err)
+	}
+
+	// materialize in submission order so queue FIFO-within-priority and the
+	// ID sequence both restore deterministically
+	sort.Slice(order, func(a, b int) bool { return order[a].jobSeq < order[b].jobSeq })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var terminal []*job
+	for _, rj := range order {
+		if rj.jobSeq > s.seq {
+			s.seq = rj.jobSeq
+		}
+		j, err := s.rebuildLocked(rj)
+		if err != nil {
+			return err
+		}
+		if j.state.Terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	// retention order is completion order
+	sort.Slice(terminal, func(a, b int) bool {
+		return terminal[a].finished.Before(terminal[b].finished)
+	})
+	for _, j := range terminal {
+		s.terminal = append(s.terminal, j.id)
+	}
+	for len(s.terminal) > s.cfg.Retention {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.recoveredN = len(s.jobs)
+	// recovery ends with a compaction: the rebuilt state is the live set,
+	// and the old log (torn tail included) is rewritten to exactly it
+	if err := s.compactLocked(); err != nil {
+		return fmt.Errorf("jobs: post-recovery compaction: %w", err)
+	}
+	s.recoveryDur = time.Since(start)
+	s.dispatchLocked()
+	return nil
+}
+
+// rebuildLocked turns one replayed job into a live scheduler record.
+func (s *Scheduler) rebuildLocked(rj *replayJob) (*job, error) {
+	var spec Spec
+	if err := json.Unmarshal(rj.spec, &spec); err != nil {
+		return nil, fmt.Errorf("jobs: recovery: job %s spec: %w", rj.id, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:          rj.id,
+		spec:        spec,
+		dataKey:     spec.Dataset.Key(),
+		seq:         rj.jobSeq,
+		engine:      -1,
+		submitted:   time.Unix(0, rj.submitted),
+		queued:      time.Unix(0, rj.submitted),
+		updates:     rj.updates,
+		preemptions: rj.preemptions,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	if spec.SLOMillis > 0 {
+		j.deadline = j.submitted.Add(time.Duration(spec.SLOMillis) * time.Millisecond)
+	}
+	s.jobs[j.id] = j
+
+	if rj.state.Terminal() {
+		j.state = rj.state
+		j.err = rj.detail
+		j.finished = time.Unix(0, rj.finished)
+		if rj.hasFinal {
+			j.finalErr = finitePtr(rj.finalErr)
+		}
+		close(j.done)
+		s.emitLocked(j, EventType(rj.state), j.err)
+		return j, nil
+	}
+
+	// non-terminal: validate the spec against this process's registry and
+	// catalog; a job whose algorithm no longer resolves fails loudly
+	// instead of wedging the queue
+	if err := spec.normalize(); err != nil {
+		j.state = StateQueued
+		s.finalizeLocked(j, nil, fmt.Errorf("recovery: %w", err))
+		return j, nil
+	}
+	j.spec = spec
+
+	if rj.hasCp {
+		cp, err := s.cfg.Store.LoadCheckpoint(string(j.id), rj.cpSeq)
+		if err == nil {
+			// resumes through the normal preempted path
+			j.cp = cp
+			j.cpSeq, j.cpUpdates, j.cpSpilled = rj.cpSeq, rj.cpUpdates, true
+			j.state = StatePreempted
+			j.queued = time.Now() // queue-wait accounting restarts here
+			s.enqueueLocked(j)
+			s.emitLocked(j, EventQueued, "")
+			s.emitLocked(j, EventPreempted, "recovered")
+			return j, nil
+		}
+		// spill missing or corrupt: restart the job from scratch rather
+		// than refusing to serve it (work since update 0 is lost, which the
+		// log can only ever under-state, never invent)
+		s.storeErrs++
+	}
+	j.state = StateQueued
+	j.queued = time.Now()
+	s.enqueueLocked(j)
+	s.emitLocked(j, EventQueued, "")
+	return j, nil
+}
+
+// snapshotRecordsLocked rebuilds the compaction snapshot from live state:
+// for every held job, a submitted record plus its current state-defining
+// records. Replaying the snapshot reproduces exactly the scheduler's
+// recoverable state.
+func (s *Scheduler) snapshotRecordsLocked() []*store.Record {
+	ordered := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+	recs := make([]*store.Record, 0, 2*len(ordered))
+	for _, j := range ordered {
+		specJSON, err := json.Marshal(j.spec)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, &store.Record{
+			Type: store.TypeSubmitted, Job: string(j.id), Time: j.submitted.UnixNano(),
+			JobSeq: j.seq, Spec: specJSON,
+		})
+		if j.cpSpilled && !j.state.Terminal() {
+			recs = append(recs, &store.Record{
+				Type: store.TypeCheckpointed, Job: string(j.id), Time: j.submitted.UnixNano(),
+				Updates: j.cpUpdates, DispatchSeq: j.cpSeq,
+			})
+		}
+		switch j.state {
+		case StateRunning:
+			recs = append(recs, &store.Record{
+				Type: store.TypeDispatched, Job: string(j.id), Time: j.started.UnixNano(),
+			})
+		case StatePreempted:
+			recs = append(recs, &store.Record{
+				Type: store.TypePreempted, Job: string(j.id), Time: j.queued.UnixNano(),
+				Updates: j.cpUpdates, DispatchSeq: j.cpSeq,
+			})
+		case StateDone:
+			rec := &store.Record{
+				Type: store.TypeDone, Job: string(j.id), Time: j.finished.UnixNano(),
+				Updates: j.updates,
+			}
+			if j.finalErr != nil {
+				rec.FinalError, rec.HasFinal = *j.finalErr, true
+			}
+			recs = append(recs, rec)
+		case StateFailed:
+			recs = append(recs, &store.Record{
+				Type: store.TypeFailed, Job: string(j.id), Time: j.finished.UnixNano(), Detail: j.err,
+			})
+		case StateCanceled:
+			recs = append(recs, &store.Record{
+				Type: store.TypeCanceled, Job: string(j.id), Time: j.finished.UnixNano(), Detail: j.err,
+			})
+		}
+	}
+	return recs
+}
+
+// compactLocked rewrites the log to the live set when the store is
+// configured. Called under the scheduler lock (compaction must not race
+// appends that would then be lost by the rewrite).
+func (s *Scheduler) compactLocked() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	return s.cfg.Store.Compact(s.snapshotRecordsLocked())
+}
+
+// spillLocked durably saves a checkpoint keyed by its dispatch_seq and then
+// appends the record (TypeCheckpointed or TypePreempted) that references
+// it — spill strictly first, so the log never names a spill that is not on
+// disk. Best effort: a failed spill is counted and the job keeps serving
+// from memory.
+func (s *Scheduler) spillLocked(j *job, cp *opt.Checkpoint, typ store.Type) {
+	if s.cfg.Store == nil || cp == nil {
+		return
+	}
+	seq := cp.Int("dispatch_seq")
+	if err := s.cfg.Store.SaveCheckpoint(string(j.id), seq, cp); err != nil {
+		s.storeErrs++
+		return
+	}
+	j.cpSeq, j.cpUpdates, j.cpSpilled = seq, cp.Updates, true
+	s.logAppendLocked(&store.Record{
+		Type: typ, Job: string(j.id), Updates: cp.Updates, DispatchSeq: seq,
+	})
+}
+
+// logAppendLocked appends a lifecycle record, best effort: serving does not
+// stop when the disk misbehaves, but the failure is counted and surfaced
+// through Stats/metrics. Submit is the exception — it calls the store
+// directly because acknowledging an unlogged job would break the
+// append-before-ack invariant. Triggers compaction past the threshold.
+func (s *Scheduler) logAppendLocked(rec *store.Record) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if rec.Time == 0 {
+		rec.Time = time.Now().UnixNano()
+	}
+	if err := s.cfg.Store.Append(rec); err != nil {
+		s.storeErrs++
+		return
+	}
+	if s.cfg.Store.Metrics().AppendsSinceCompact >= int64(s.cfg.CompactEvery) {
+		if err := s.compactLocked(); err != nil {
+			s.storeErrs++
+		}
+	}
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/async"
+	"repro/async/jobs/store"
 	"repro/internal/dataset"
 	"repro/internal/opt"
 )
@@ -64,6 +66,23 @@ type Config struct {
 	// NewEngine overrides engine construction (tests, custom transports);
 	// default async.New(EngineOptions...).
 	NewEngine func(slot int) (*async.Engine, error)
+	// Store, when set, makes job state durable: every lifecycle transition
+	// is appended to it before Submit acknowledges, checkpoints spill
+	// through it, and New replays it to recover jobs from a previous
+	// process. Nil (the default) keeps today's in-memory behavior.
+	Store store.Store
+	// CompactEvery triggers a log compaction after that many appends
+	// (default 1024). Only meaningful with a Store.
+	CompactEvery int
+	// TenantQuota bounds how many queued (waiting, preempted included) jobs
+	// one tenant may hold; Submit rejects beyond it with ErrQueueFull so a
+	// single tenant cannot exhaust the shared queue. 0 disables per-tenant
+	// admission control.
+	TenantQuota int
+	// SLOSlack is the deadline slack below which a queued job with an SLO
+	// (Spec.SLOMillis) may preempt a running job with more slack, even at
+	// equal priority (default 5s).
+	SLOSlack time.Duration
 }
 
 func (c *Config) defaults() {
@@ -82,6 +101,12 @@ func (c *Config) defaults() {
 	if c.NewEngine == nil {
 		opts := c.EngineOptions
 		c.NewEngine = func(int) (*async.Engine, error) { return async.New(opts...) }
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 1024
+	}
+	if c.SLOSlack <= 0 {
+		c.SLOSlack = 5 * time.Second
 	}
 }
 
@@ -102,6 +127,23 @@ type Stats struct {
 
 	AvgQueueWaitMS float64 `json:"avg_queue_wait_ms"`
 	MaxQueueWaitMS float64 `json:"max_queue_wait_ms"`
+
+	// Durability counters (zero without a configured store).
+	RecoveredJobs int     `json:"recovered_jobs,omitempty"`
+	RecoveryMS    float64 `json:"recovery_ms,omitempty"`
+	StoreErrors   int64   `json:"store_errors,omitempty"`
+	// Tenants breaks admission and occupancy down per tenant when any job
+	// named one ("" stays aggregate-only).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of the serving counters.
+type TenantStats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Done      int64 `json:"done"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
 }
 
 // slot is one engine of the pool. eng and dataKey are touched only by the
@@ -127,6 +169,7 @@ type Scheduler struct {
 	seq      int64
 	useSeq   int64
 	closed   bool
+	draining bool
 	wg       sync.WaitGroup
 
 	submitted, rejected     int64
@@ -136,19 +179,41 @@ type Scheduler struct {
 	queueWaitTotal          time.Duration
 	queueWaitMax            time.Duration
 
+	// durability + multi-tenant accounting
+	storeErrs   int64
+	recoveredN  int
+	recoveryDur time.Duration
+	startedAt   time.Time
+	tenantSub   map[string]int64
+	tenantRej   map[string]int64
+	tenantDone  map[string]int64
+
 	dsMu    sync.Mutex
 	dsCache map[string]*dsEntry
 	dsOrder []string // LRU order, least-recent first
 }
 
-// New builds a scheduler; engines spin up lazily on demand.
+// New builds a scheduler; engines spin up lazily on demand. With a
+// configured Store, New first replays its log: terminal jobs reload into
+// the retention store, interrupted jobs re-enqueue (with their last durable
+// checkpoint when one exists) and resume as engines come up.
 func New(cfg Config) (*Scheduler, error) {
 	cfg.defaults()
-	return &Scheduler{
-		cfg:     cfg,
-		jobs:    map[ID]*job{},
-		dsCache: map[string]*dsEntry{},
-	}, nil
+	s := &Scheduler{
+		cfg:        cfg,
+		jobs:       map[ID]*job{},
+		dsCache:    map[string]*dsEntry{},
+		startedAt:  time.Now(),
+		tenantSub:  map[string]int64{},
+		tenantRej:  map[string]int64{},
+		tenantDone: map[string]int64{},
+	}
+	if cfg.Store != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Submit validates and enqueues a job, returning its ID immediately. The
@@ -187,29 +252,66 @@ func (s *Scheduler) Submit(spec Spec) (ID, error) {
 	if s.closed {
 		return "", ErrClosed
 	}
+	if s.cfg.TenantQuota > 0 {
+		held := 0
+		for _, q := range s.queue {
+			if q.spec.Tenant == spec.Tenant {
+				held++
+			}
+		}
+		if held >= s.cfg.TenantQuota {
+			s.rejected++
+			s.tenantRej[spec.Tenant]++
+			return "", fmt.Errorf("%w: tenant %q at quota %d", ErrQueueFull, spec.Tenant, s.cfg.TenantQuota)
+		}
+	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.rejected++
+		s.tenantRej[spec.Tenant]++
 		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	now := time.Now()
+	id := ID(fmt.Sprintf("job-%06d", s.seq+1))
+	if s.cfg.Store != nil {
+		// append-before-ack: the submitted record must be durable before the
+		// caller learns the ID; a failed append fails the Submit
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return "", fmt.Errorf("jobs: encode spec: %w", err)
+		}
+		rec := &store.Record{
+			Type: store.TypeSubmitted, Job: string(id), Time: now.UnixNano(),
+			JobSeq: s.seq + 1, Spec: specJSON,
+		}
+		if err := s.cfg.Store.Append(rec); err != nil {
+			s.storeErrs++
+			return "", fmt.Errorf("jobs: durable submit: %w", err)
+		}
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:          ID(fmt.Sprintf("job-%06d", s.seq)),
+		id:          id,
 		spec:        spec,
 		dataKey:     spec.Dataset.Key(),
 		seq:         s.seq,
 		state:       StateQueued,
 		engine:      -1,
-		queued:      time.Now(),
+		submitted:   now,
+		queued:      now,
 		ctx:         ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
 		cp:          cp,
 		resumedFrom: src,
 	}
+	if spec.SLOMillis > 0 {
+		j.deadline = now.Add(time.Duration(spec.SLOMillis) * time.Millisecond)
+	}
 	s.jobs[j.id] = j
 	s.enqueueLocked(j)
 	s.submitted++
+	s.tenantSub[spec.Tenant]++
 	s.emitLocked(j, EventQueued, "")
 	s.dispatchLocked()
 	return j.id, nil
@@ -301,6 +403,69 @@ func (s *Scheduler) List() []Job {
 		out = append(out, j.snapshot())
 	}
 	return out
+}
+
+// ListQuery filters and paginates ListPage.
+type ListQuery struct {
+	// State keeps only jobs in that lifecycle state ("" = all).
+	State State
+	// Tenant keeps only jobs of that tenant ("" = all).
+	Tenant string
+	// After is an exclusive cursor: only jobs submitted after the named job
+	// are returned. A cursor naming an evicted job still works — the
+	// submission ordinal is parsed from the ID.
+	After ID
+	// Limit bounds the page size (0 = unlimited).
+	Limit int
+}
+
+// ListPage snapshots matching jobs in submission order, starting after the
+// cursor, at most Limit. next is the cursor of the following page, "" when
+// the listing is exhausted.
+func (s *Scheduler) ListPage(q ListQuery) (page []Job, next ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ordered := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+	afterSeq := int64(-1)
+	if q.After != "" {
+		afterSeq = cursorSeq(s.jobs, q.After)
+	}
+	page = []Job{}
+	for _, j := range ordered {
+		if j.seq <= afterSeq {
+			continue
+		}
+		if q.State != "" && j.state != q.State {
+			continue
+		}
+		if q.Tenant != "" && j.spec.Tenant != q.Tenant {
+			continue
+		}
+		if q.Limit > 0 && len(page) == q.Limit {
+			next = page[len(page)-1].ID
+			return page, next
+		}
+		page = append(page, j.snapshot())
+	}
+	return page, ""
+}
+
+// cursorSeq resolves a cursor ID to its submission ordinal: the held job's
+// seq when retained, else the ordinal parsed from the "job-%06d" shape (so
+// pagination keeps working across a cursor's retention eviction).
+func cursorSeq(jobs map[ID]*job, id ID) int64 {
+	if j, ok := jobs[id]; ok {
+		return j.seq
+	}
+	var n int64
+	if _, err := fmt.Sscanf(string(id), "job-%d", &n); err == nil {
+		return n
+	}
+	return -1
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx ends) and
@@ -414,7 +579,100 @@ func (s *Scheduler) Stats() Stats {
 		st.AvgQueueWaitMS = float64(s.queueWaitTotal.Microseconds()) / 1000.0 / float64(s.startedN)
 		st.MaxQueueWaitMS = float64(s.queueWaitMax.Microseconds()) / 1000.0
 	}
+	st.RecoveredJobs = s.recoveredN
+	st.RecoveryMS = float64(s.recoveryDur.Microseconds()) / 1000.0
+	st.StoreErrors = s.storeErrs
+	st.Tenants = s.tenantStatsLocked()
 	return st
+}
+
+// tenantStatsLocked assembles the per-tenant breakdown; the unnamed tenant
+// ("") stays aggregate-only. Nil when no job ever named a tenant.
+func (s *Scheduler) tenantStatsLocked() map[string]TenantStats {
+	names := map[string]bool{}
+	for t := range s.tenantSub {
+		names[t] = true
+	}
+	for t := range s.tenantRej {
+		names[t] = true
+	}
+	for _, j := range s.jobs {
+		names[j.spec.Tenant] = true
+	}
+	delete(names, "")
+	if len(names) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantStats, len(names))
+	for t := range names {
+		out[t] = TenantStats{Submitted: s.tenantSub[t], Rejected: s.tenantRej[t], Done: s.tenantDone[t]}
+	}
+	for _, q := range s.queue {
+		if t := q.spec.Tenant; t != "" {
+			ts := out[t]
+			ts.Queued++
+			out[t] = ts
+		}
+	}
+	for _, j := range s.jobs {
+		if t := j.spec.Tenant; t != "" && j.state == StateRunning {
+			ts := out[t]
+			ts.Running++
+			out[t] = ts
+		}
+	}
+	return out
+}
+
+// Drain quiesces the scheduler for a graceful shutdown: dispatch stops,
+// every running job is asked to preempt at its next update boundary, and
+// Drain waits until no run remains in flight — each unwound run having
+// durably spilled its checkpoint — before fsyncing the store. Queued and
+// preempted jobs stay queued: with a store they re-enqueue on the next
+// boot, and a Close following a completed Drain leaves them unfinalized
+// instead of canceling them. Returns ctx.Err() if the context ends first
+// (running jobs may then still be unwinding; Close cancels them).
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.state == StateRunning && !j.preempting {
+			j.preempting = true
+			j.preemptAsked = time.Now()
+			j.preempt.Trigger()
+		}
+	}
+	s.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		busy := 0
+		for _, sl := range s.slots {
+			if sl.busy {
+				busy++
+			}
+		}
+		s.mu.Unlock()
+		if busy == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Sync(); err != nil {
+			return fmt.Errorf("jobs: drain sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // Close cancels queued and running jobs, waits for runs to unwind, and
@@ -427,11 +685,18 @@ func (s *Scheduler) Close() error {
 		return nil
 	}
 	s.closed = true
-	queued := s.queue
-	s.queue = nil
-	for _, j := range queued {
-		j.cancel()
-		s.finalizeLocked(j, nil, context.Canceled)
+	if s.draining {
+		// a completed Drain leaves queued/preempted jobs for the next boot:
+		// their submitted records (and spilled checkpoints) are durable, so
+		// finalizing them here would cancel work the store can still resume
+		s.queue = nil
+	} else {
+		queued := s.queue
+		s.queue = nil
+		for _, j := range queued {
+			j.cancel()
+			s.finalizeLocked(j, nil, context.Canceled)
+		}
 	}
 	for _, j := range s.jobs {
 		if j.state == StateRunning {
@@ -465,7 +730,7 @@ func (s *Scheduler) Close() error {
 // the lowest-priority running job is preempted (checkpointed aside) to
 // free its engine.
 func (s *Scheduler) dispatchLocked() {
-	for !s.closed && len(s.queue) > 0 {
+	for !s.closed && !s.draining && len(s.queue) > 0 {
 		sl, j := s.pickLocked()
 		if j == nil {
 			s.maybePreemptLocked()
@@ -483,6 +748,9 @@ func (s *Scheduler) dispatchLocked() {
 		j.engine = sl.id
 		j.preempt = opt.NewPreemptSignal() // fresh per dispatch; Preempt targets it
 		j.started = time.Now()
+		s.logAppendLocked(&store.Record{
+			Type: store.TypeDispatched, Job: string(j.id), Updates: j.updates,
+		})
 		wait := j.started.Sub(j.queued)
 		s.queueWaitTotal += wait
 		if wait > s.queueWaitMax {
@@ -509,15 +777,21 @@ const preemptGrace = 10 * time.Second
 
 // maybePreemptLocked frees an engine for the queue head by preempting the
 // lowest-priority running job whose priority is strictly below the head's.
-// At most one responsive preemption is in flight at a time: the freed
-// engine re-enters dispatch when the preempted run unwinds, which
-// re-evaluates the queue.
+// When no strict-priority victim exists but the head carries an SLO
+// (Spec.SLOMillis) whose remaining slack has dropped below Config.SLOSlack,
+// a running job with more slack (no deadline counts as infinite) and no
+// higher priority is preempted instead — deadline-pressed work overtakes
+// deadline-relaxed peers without violating the priority contract. At most
+// one responsive preemption is in flight at a time: the freed engine
+// re-enters dispatch when the preempted run unwinds, which re-evaluates the
+// queue. SLO slack is evaluated at scheduling points only (submit, run
+// unwind), not on a timer.
 func (s *Scheduler) maybePreemptLocked() {
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || s.draining {
 		return
 	}
 	head := s.queue[0]
-	var victim *job
+	var candidates []*job
 	for _, j := range s.jobs {
 		if j.state != StateRunning {
 			continue
@@ -528,6 +802,10 @@ func (s *Scheduler) maybePreemptLocked() {
 			}
 			continue // non-cooperating solver: don't re-pick, don't block
 		}
+		candidates = append(candidates, j)
+	}
+	var victim *job
+	for _, j := range candidates {
 		if j.spec.Priority >= head.spec.Priority {
 			continue
 		}
@@ -536,12 +814,44 @@ func (s *Scheduler) maybePreemptLocked() {
 			victim = j
 		}
 	}
+	if victim == nil && !head.deadline.IsZero() {
+		if slack := time.Until(head.deadline); slack < s.cfg.SLOSlack {
+			victim = s.sloVictimLocked(head, slack, candidates)
+		}
+	}
 	if victim == nil {
 		return
 	}
 	victim.preempting = true
 	victim.preemptAsked = time.Now()
 	victim.preempt.Trigger()
+}
+
+// sloVictimLocked picks the running job with the most deadline slack that
+// the pressed head may displace: priority no higher than the head's and
+// slack strictly greater than the head's (ties yield the youngest, so the
+// job with the least sunk work restarts).
+func (s *Scheduler) sloVictimLocked(head *job, headSlack time.Duration, candidates []*job) *job {
+	const infinite = time.Duration(1<<63 - 1)
+	var victim *job
+	var victimSlack time.Duration
+	for _, j := range candidates {
+		if j.spec.Priority > head.spec.Priority {
+			continue
+		}
+		slack := infinite
+		if !j.deadline.IsZero() {
+			slack = time.Until(j.deadline)
+		}
+		if slack <= headSlack {
+			continue // no better off than the head; displacing it gains nothing
+		}
+		if victim == nil || slack > victimSlack ||
+			(slack == victimSlack && j.seq > victim.seq) {
+			victim, victimSlack = j, slack
+		}
+	}
+	return victim
 }
 
 func (s *Scheduler) pickLocked() (*slot, *job) {
@@ -619,6 +929,7 @@ func (s *Scheduler) run(sl *slot, j *job) {
 		j.state = StatePreempted
 		j.engine = -1
 		j.queued = time.Now() // queue-wait accounting restarts here
+		s.spillLocked(j, pe.Checkpoint, store.TypePreempted)
 		s.enqueueLocked(j)
 		ev := s.newEventLocked(j, EventPreempted, "")
 		ev.Updates = pe.Checkpoint.Updates
@@ -695,6 +1006,9 @@ func (s *Scheduler) execute(sl *slot, j *job) (*async.Result, error) {
 	opts.Params.OnCheckpoint = func(cp *opt.Checkpoint) {
 		s.mu.Lock()
 		if j.state == StateRunning {
+			// durable first (spill + checkpointed record), then visible:
+			// Checkpoint/resume_from never serve state the log doesn't cover
+			s.spillLocked(j, cp, store.TypeCheckpointed)
 			j.cp = cp
 		}
 		s.mu.Unlock()
@@ -768,6 +1082,24 @@ func (s *Scheduler) finalizeLocked(j *job, res *async.Result, err error) {
 		typ = EventFailed
 		j.err = err.Error()
 		s.failedN++
+	}
+	switch j.state {
+	case StateDone:
+		s.tenantDone[j.spec.Tenant]++
+		rec := &store.Record{Type: store.TypeDone, Job: string(j.id), Updates: j.updates}
+		if j.finalErr != nil {
+			rec.FinalError, rec.HasFinal = *j.finalErr, true
+		}
+		s.logAppendLocked(rec)
+	case StateFailed:
+		s.logAppendLocked(&store.Record{Type: store.TypeFailed, Job: string(j.id), Detail: j.err})
+	case StateCanceled:
+		s.logAppendLocked(&store.Record{Type: store.TypeCanceled, Job: string(j.id), Detail: j.err})
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.DropJob(string(j.id)); err != nil {
+			s.storeErrs++
+		}
 	}
 	ev := s.newEventLocked(j, typ, j.err)
 	ev.Updates = j.updates

@@ -155,6 +155,17 @@ type Spec struct {
 	// lowest-priority running job (checkpointed aside, resumed later).
 	Priority int `json:"priority,omitempty"`
 
+	// Tenant names the submitting tenant for admission control (per-tenant
+	// queue quotas, Config.TenantQuota) and per-tenant serving stats. Empty
+	// is the anonymous default tenant.
+	Tenant string `json:"tenant,omitempty"`
+
+	// SLOMillis is a soft completion deadline, milliseconds from
+	// submission. When a queued job's remaining slack drops below the
+	// scheduler's SLOSlack, it may preempt a running job with more slack at
+	// the same or lower priority. 0 means no deadline.
+	SLOMillis int64 `json:"slo_ms,omitempty"`
+
 	// CheckpointEvery captures a driver checkpoint every that many model
 	// updates; the latest is retrievable via the scheduler (and the
 	// /v1/jobs/{id}/checkpoint endpoint). Preemption captures one
@@ -214,6 +225,9 @@ func (sp *Spec) normalize() error {
 	}
 	if sp.CheckpointEvery < 0 {
 		return fmt.Errorf("jobs: checkpoint_every %d must be non-negative", sp.CheckpointEvery)
+	}
+	if sp.SLOMillis < 0 {
+		return fmt.Errorf("jobs: slo_ms %d must be non-negative", sp.SLOMillis)
 	}
 	if _, err := sp.Step.schedule(1); err != nil {
 		return err
@@ -275,6 +289,12 @@ func (sp Spec) withResumeBase(base Spec) Spec {
 	}
 	if sp.FStar != 0 {
 		out.FStar = sp.FStar
+	}
+	if sp.Tenant != "" {
+		out.Tenant = sp.Tenant
+	}
+	if sp.SLOMillis != 0 {
+		out.SLOMillis = sp.SLOMillis
 	}
 	out.StalenessLR = out.StalenessLR || sp.StalenessLR
 	out.AutoFStar = out.AutoFStar || sp.AutoFStar

@@ -1,0 +1,64 @@
+// Package store is the durability layer under the jobs scheduler: a
+// write-ahead log of job lifecycle transitions plus per-job checkpoint
+// spill files, so an asyncd restart — graceful or kill -9 — reconstructs
+// the scheduler instead of losing every queued, running, and preempted
+// job.
+//
+// # Append-before-ack invariant
+//
+// Every job lifecycle transition (submitted, dispatched, checkpointed,
+// preempted, done, failed, canceled) is appended — and, unless the store
+// was opened with NoSync, fsynced — BEFORE the transition is acknowledged
+// to the caller. Submit in particular returns a job ID only after the
+// submitted record is durable: a job the client was told about can never
+// silently vanish across a restart. Transitions that have no external
+// acknowledgement (dispatch, periodic checkpoints) are appended before
+// the scheduler acts on them, so replay can only ever UNDER-state
+// progress, never invent it: a crash between an action and its record
+// replays the older state, which re-runs work rather than losing it.
+//
+// # Log layout
+//
+// The log is a single file (wal.log) of length-prefixed records in the
+// wire-codec frame format:
+//
+//	[u32 BE frame length L][1-byte format][body][u32 BE CRC-32 (IEEE) of format+body]
+//
+// where L counts everything after the length prefix (format + body +
+// CRC). The body is the compact binary encoding of one Record
+// (cluster.BinWriter: varints, length-validated strings). The file opens
+// with the magic "AWL1". Decode is length-validated before any
+// allocation, and a record whose CRC, length, or body fails to verify
+// ends the replay: Open recovers the longest valid prefix, truncates the
+// torn tail, and continues appending from there — a kill -9 mid-append
+// costs exactly the un-acked suffix, never the log.
+//
+// Checkpoints are not inlined in the log (they are ~dim-sized). Each
+// capture spills to its own file, cp-<job>-<dispatchSeq>.ckpt, written
+// to a temp name, fsynced, and renamed into place before the
+// checkpointed record is appended; the record carries the dispatch
+// sequence that keys the file. Replay therefore only trusts checkpoint
+// files the log mentions — a spill that crashed before its record is
+// ignored, and the job resumes from the previous durable capture.
+//
+// # Compaction contract
+//
+// The log grows by a handful of records per job; compaction rewrites it
+// to the live set only. Compact takes a snapshot of records (rebuilt by
+// the scheduler from its in-memory state: one submitted record per held
+// job plus its current state-defining records), writes them to a fresh
+// temp log, fsyncs, and atomically renames it over wal.log — a crash at
+// any point leaves either the old log or the new one, never a mix.
+// Checkpoint files for jobs absent from the snapshot are deleted after
+// the rename. The scheduler triggers compaction every Config.CompactEvery
+// appends and once after recovery; records evicted by the scheduler's
+// retention limit simply stop appearing in snapshots.
+//
+// # Seam
+//
+// The scheduler depends only on the Store interface (append / replay /
+// checkpoint spill / compact), so a shared multi-replica backend with
+// lease-based claiming can slot in without touching the scheduler;
+// WAL is the single-node file implementation and Mem is the in-memory
+// implementation used by tests.
+package store

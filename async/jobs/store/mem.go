@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/opt"
+)
+
+// Mem is an in-memory Store: the same append/replay/compact surface as WAL
+// with no disk under it. It backs scheduler-store integration tests and
+// demonstrates that the scheduler depends only on the seam; it survives a
+// scheduler restart (hand the same *Mem to the next one) but not a process
+// death.
+type Mem struct {
+	mu      sync.Mutex
+	records []Record
+	spills  map[string][]byte // job\x00dispatchSeq → encoded checkpoint
+	seq     uint64
+	appends int64
+	since   int64
+	compact int64
+	nspills int64
+	closed  bool
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem { return &Mem{spills: map[string][]byte{}} }
+
+func spillKey(job string, dispatchSeq int64) string {
+	return fmt.Sprintf("%s\x00%d", job, dispatchSeq)
+}
+
+// Replay streams the held records in order.
+func (m *Mem) Replay(fn func(Record) error) error {
+	m.mu.Lock()
+	recs := append([]Record(nil), m.records...)
+	m.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append logs one record.
+func (m *Mem) Append(rec *Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.seq++
+	rec.Seq = m.seq
+	m.records = append(m.records, *rec)
+	m.appends++
+	m.since++
+	return nil
+}
+
+// SaveCheckpoint spills an encoded copy keyed by (job, dispatchSeq).
+func (m *Mem) SaveCheckpoint(job string, dispatchSeq int64, cp *opt.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := opt.SaveCheckpoint(&buf, cp); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for k := range m.spills {
+		if len(k) > len(job) && k[:len(job)] == job && k[len(job)] == 0 {
+			delete(m.spills, k)
+		}
+	}
+	m.spills[spillKey(job, dispatchSeq)] = buf.Bytes()
+	m.nspills++
+	return nil
+}
+
+// LoadCheckpoint decodes the spill keyed by (job, dispatchSeq).
+func (m *Mem) LoadCheckpoint(job string, dispatchSeq int64) (*opt.Checkpoint, error) {
+	m.mu.Lock()
+	b, ok := m.spills[spillKey(job, dispatchSeq)]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: no spill for %s@%d", job, dispatchSeq)
+	}
+	return opt.LoadCheckpoint(bytes.NewReader(b))
+}
+
+// DropJob removes the job's spills.
+func (m *Mem) DropJob(job string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for k := range m.spills {
+		if len(k) > len(job) && k[:len(job)] == job && k[len(job)] == 0 {
+			delete(m.spills, k)
+		}
+	}
+	return nil
+}
+
+// Compact replaces the record list with snapshot and drops spills of jobs
+// it no longer mentions.
+func (m *Mem) Compact(snapshot []*Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	keep := make(map[string]bool, len(snapshot))
+	m.records = m.records[:0]
+	for i, rec := range snapshot {
+		rec.Seq = uint64(i + 1)
+		m.records = append(m.records, *rec)
+		keep[rec.Job] = true
+	}
+	m.seq = uint64(len(snapshot))
+	m.since = 0
+	m.compact++
+	m.appends += int64(len(snapshot))
+	for k := range m.spills {
+		job := k
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				job = k[:i]
+				break
+			}
+		}
+		if !keep[job] {
+			delete(m.spills, k)
+		}
+	}
+	return nil
+}
+
+// Sync is a no-op for the in-memory store.
+func (m *Mem) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Metrics snapshots the counters.
+func (m *Mem) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Appends:             m.appends,
+		AppendsSinceCompact: m.since,
+		Compactions:         m.compact,
+		CheckpointSpills:    m.nspills,
+		ReplayedRecords:     int64(len(m.records)),
+	}
+}
+
+// Close marks the store closed; the held state stays replayable by a
+// successor scheduler after Reopen.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Reopen clears the closed flag so a successor scheduler can recover from
+// the held state (the in-memory analogue of re-opening a WAL directory).
+func (m *Mem) Reopen() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = false
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/opt"
+)
+
+// ErrClosed is returned by operations on a closed (or crash-simulated)
+// store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is the durability seam the scheduler writes through. WAL is the
+// single-node file implementation; Mem backs tests. A shared multi-replica
+// backend (lease-based job claiming) implements the same surface.
+//
+// Append must make the record durable before returning (append-before-ack);
+// SaveCheckpoint must durably spill the capture before the caller appends
+// the record that references it. Replay yields the recovered records in log
+// order. Compact atomically replaces the log with the given snapshot and
+// garbage-collects checkpoints of jobs absent from it.
+type Store interface {
+	// Replay streams the recovered records in log order. It is called once,
+	// before the first Append.
+	Replay(fn func(Record) error) error
+	// Append durably logs one transition, assigning rec.Seq.
+	Append(rec *Record) error
+	// SaveCheckpoint durably spills a capture keyed by (job, dispatchSeq).
+	SaveCheckpoint(job string, dispatchSeq int64, cp *opt.Checkpoint) error
+	// LoadCheckpoint loads the spill keyed by (job, dispatchSeq).
+	LoadCheckpoint(job string, dispatchSeq int64) (*opt.Checkpoint, error)
+	// DropJob removes a terminal job's spilled checkpoints (best effort).
+	DropJob(job string) error
+	// Compact atomically replaces the log with snapshot and deletes
+	// checkpoints of jobs no snapshot record names.
+	Compact(snapshot []*Record) error
+	// Sync flushes and fsyncs any buffered state (graceful shutdown).
+	Sync() error
+	// Metrics snapshots the store's counters.
+	Metrics() Metrics
+	Close() error
+}
+
+// Metrics is a point-in-time snapshot of a store's counters, surfaced
+// through the scheduler's /v1/metrics endpoint.
+type Metrics struct {
+	// Appends counts durably acknowledged records (lifetime, compaction
+	// included).
+	Appends int64 `json:"appends"`
+	// AppendsSinceCompact counts records since the last compaction; the
+	// scheduler's compaction trigger reads it.
+	AppendsSinceCompact int64 `json:"appends_since_compact"`
+	// Fsyncs and FsyncTotal measure the fsync latency the append path pays.
+	Fsyncs     int64         `json:"fsyncs"`
+	FsyncTotal time.Duration `json:"fsync_total_ns"`
+	// SizeBytes is the current log size.
+	SizeBytes int64 `json:"size_bytes"`
+	// Compactions counts log rewrites.
+	Compactions int64 `json:"compactions"`
+	// CheckpointSpills counts durable checkpoint files written.
+	CheckpointSpills int64 `json:"checkpoint_spills"`
+	// ReplayedRecords is how many records the last open recovered.
+	ReplayedRecords int64 `json:"replayed_records"`
+	// TruncatedTail reports that the last open found (and cut) a torn or
+	// corrupt log tail — expected after a crash mid-append.
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+}

@@ -1,0 +1,423 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/opt"
+)
+
+// Options configure a WAL.
+type Options struct {
+	// NoSync skips the per-append fsync (tests and benchmarks; a real
+	// daemon should leave it off — the append-before-ack invariant is only
+	// as strong as the sync under it).
+	NoSync bool
+}
+
+// WAL is the file-backed Store: one wal.log of CRC-framed records plus
+// per-job checkpoint spill files, all inside one directory owned by a
+// single scheduler process.
+type WAL struct {
+	mu     sync.Mutex
+	dir    string
+	f      *os.File
+	noSync bool
+	seq    uint64
+	buf    []byte // reused frame-encode scratch
+
+	// recovered state from Open, consumed by Replay
+	records   []Record
+	truncated bool
+
+	// metrics (guarded by mu)
+	appends, sinceCompact int64
+	fsyncs                int64
+	fsyncNS               int64
+	size                  int64
+	compactions           int64
+	spills                int64
+
+	// failpoints (tests): failAfter counts down on each append; at zero the
+	// append tears mid-record and the WAL goes dead — exactly what kill -9
+	// between write and ack looks like. dead makes every later mutation
+	// return ErrClosed.
+	failAfter int64
+	armed     bool
+	dead      bool
+	closed    bool
+}
+
+const walName = "wal.log"
+
+// Open recovers the log in dir (created if missing): it scans wal.log,
+// keeps the longest valid prefix of records, truncates any torn or corrupt
+// tail, and positions the file for appending. The recovered records are
+// consumed through Replay.
+func Open(dir string, opts Options) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	w := &WAL{dir: dir, f: f, noSync: opts.NoSync}
+	validEnd := 0
+	switch {
+	case len(data) == 0:
+		// fresh log: write the magic header
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: init %s: %w", path, err)
+		}
+		if err := w.syncFile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		validEnd = len(walMagic)
+	case !bytes.HasPrefix(data, walMagic):
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a WAL (bad magic)", path)
+	default:
+		validEnd = len(walMagic)
+		for off := validEnd; off < len(data); {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil || rec.Seq != w.seq+1 {
+				// decode failure or a sequence break: Append numbers records
+				// contiguously from 1, so either way the log is damaged here
+				// and the valid prefix ends
+				w.truncated = true
+				break
+			}
+			w.records = append(w.records, rec)
+			w.seq = rec.Seq
+			off += n
+			validEnd = off
+		}
+	}
+	if validEnd < len(data) {
+		if err := f.Truncate(int64(validEnd)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+		}
+		if err := w.syncFile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(validEnd), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	w.size = int64(validEnd)
+	w.sinceCompact = int64(len(w.records))
+	return w, nil
+}
+
+// Dir returns the store directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Replay streams the records Open recovered, in log order.
+func (w *WAL) Replay(fn func(Record) error) error {
+	w.mu.Lock()
+	recs := w.records
+	w.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append durably logs one record: frame (with CRC) written, flushed, and
+// fsynced before returning. The record's Seq is assigned here.
+func (w *WAL) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.closed {
+		return ErrClosed
+	}
+	w.seq++
+	rec.Seq = w.seq
+	w.buf = rec.encode(w.buf[:0])
+	frame := w.buf
+	if w.armed {
+		if w.failAfter <= 0 {
+			// failpoint: tear this append mid-record and die, simulating
+			// kill -9 between the write syscall and the ack
+			torn := frame[:len(frame)/2]
+			_, _ = w.f.Write(torn)
+			w.size += int64(len(torn))
+			w.dead = true
+			return ErrClosed
+		}
+		w.failAfter--
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	w.size += int64(len(frame))
+	if err := w.syncFile(w.f); err != nil {
+		return err
+	}
+	w.appends++
+	w.sinceCompact++
+	return nil
+}
+
+// syncFile fsyncs f (unless NoSync) and accounts the latency.
+func (w *WAL) syncFile(f *os.File) error {
+	if w.noSync {
+		return nil
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	w.fsyncs++
+	w.fsyncNS += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// ckptName builds the spill filename for (job, dispatchSeq). Job IDs are
+// scheduler-generated ("job-000042"); anything path-like is rejected.
+func ckptName(job string, dispatchSeq int64) (string, error) {
+	if job == "" || strings.ContainsAny(job, "/\\:*?\"<>|") || strings.Contains(job, "..") {
+		return "", fmt.Errorf("store: invalid job id %q", job)
+	}
+	return fmt.Sprintf("cp-%s-%d.ckpt", job, dispatchSeq), nil
+}
+
+// SaveCheckpoint durably spills cp keyed by (job, dispatchSeq): temp file,
+// fsync, rename into place, then older spills of the same job are removed.
+// The caller appends the checkpointed record only after this returns, so
+// the log never references a spill that is not on disk.
+func (w *WAL) SaveCheckpoint(job string, dispatchSeq int64, cp *opt.Checkpoint) error {
+	name, err := ckptName(job, dispatchSeq)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.closed {
+		return ErrClosed
+	}
+	var buf bytes.Buffer
+	if err := opt.SaveCheckpoint(&buf, cp); err != nil {
+		return fmt.Errorf("store: spill %s: %w", job, err)
+	}
+	tmp := filepath.Join(w.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: spill %s: %w", job, err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: spill %s: %w", job, err)
+	}
+	if err := w.syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: spill %s: %w", job, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, name)); err != nil {
+		return fmt.Errorf("store: spill %s: %w", job, err)
+	}
+	w.spills++
+	w.dropSpillsLocked(job, name)
+	return nil
+}
+
+// dropSpillsLocked removes the job's spill files except keep ("" = all).
+func (w *WAL) dropSpillsLocked(job, keep string) {
+	prefix := "cp-" + job + "-"
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".ckpt") && n != keep {
+			_ = os.Remove(filepath.Join(w.dir, n))
+		}
+	}
+}
+
+// LoadCheckpoint loads the spill keyed by (job, dispatchSeq).
+func (w *WAL) LoadCheckpoint(job string, dispatchSeq int64) (*opt.Checkpoint, error) {
+	name, err := ckptName(job, dispatchSeq)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(w.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: load checkpoint %s@%d: %w", job, dispatchSeq, err)
+	}
+	defer f.Close()
+	return opt.LoadCheckpoint(f)
+}
+
+// DropJob removes all spilled checkpoints of a terminal job.
+func (w *WAL) DropJob(job string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.closed {
+		return ErrClosed
+	}
+	w.dropSpillsLocked(job, "")
+	return nil
+}
+
+// Compact atomically replaces the log with snapshot: a fresh temp log is
+// written (records re-sequenced from 1), fsynced, and renamed over
+// wal.log; checkpoints of jobs no snapshot record names are then deleted.
+// A crash anywhere leaves either the complete old log or the complete new
+// one.
+func (w *WAL) Compact(snapshot []*Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(w.dir, walName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	buf := append(w.buf[:0], walMagic...)
+	keep := make(map[string]bool, len(snapshot))
+	for i, rec := range snapshot {
+		rec.Seq = uint64(i + 1)
+		buf = rec.encode(buf)
+		keep[rec.Job] = true
+	}
+	w.buf = buf[:0]
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := w.syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	path := filepath.Join(w.dir, walName)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old := w.f
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: compact reopen: %w", err)
+	}
+	w.f = nf
+	_ = old.Close()
+	w.seq = uint64(len(snapshot))
+	w.size = int64(len(buf))
+	w.sinceCompact = 0
+	w.compactions++
+	w.appends += int64(len(snapshot))
+	// GC spills of jobs the compacted log no longer mentions
+	entries, err := os.ReadDir(w.dir)
+	if err == nil {
+		for _, e := range entries {
+			n := e.Name()
+			if !strings.HasPrefix(n, "cp-") || !strings.HasSuffix(n, ".ckpt") {
+				continue
+			}
+			core := strings.TrimSuffix(strings.TrimPrefix(n, "cp-"), ".ckpt")
+			if i := strings.LastIndexByte(core, '-'); i > 0 {
+				core = core[:i]
+			}
+			if !keep[core] {
+				_ = os.Remove(filepath.Join(w.dir, n))
+			}
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the log (graceful-shutdown flush).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.closed {
+		return ErrClosed
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	w.fsyncs++
+	w.fsyncNS += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// Metrics snapshots the counters.
+func (w *WAL) Metrics() Metrics {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Metrics{
+		Appends:             w.appends,
+		AppendsSinceCompact: w.sinceCompact,
+		Fsyncs:              w.fsyncs,
+		FsyncTotal:          time.Duration(w.fsyncNS),
+		SizeBytes:           w.size,
+		Compactions:         w.compactions,
+		CheckpointSpills:    w.spills,
+		ReplayedRecords:     int64(len(w.records)),
+		TruncatedTail:       w.truncated,
+	}
+}
+
+// Close releases the log file. The WAL stays readable on disk.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// FailAfterAppends arms the crash failpoint: the next n appends succeed,
+// then the following one is torn mid-record and the store goes dead
+// (every later mutation returns ErrClosed) — the closest a test can get to
+// kill -9 without a subprocess. Testing hook.
+func (w *WAL) FailAfterAppends(n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.armed = true
+	w.failAfter = n
+}
+
+// Kill makes the store drop every subsequent mutation (returning
+// ErrClosed) without tearing the log — simulating a process death at a
+// record boundary. Testing hook.
+func (w *WAL) Kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dead = true
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/async"
 	"repro/async/jobs"
+	"repro/async/jobs/store"
 	"repro/internal/dataset"
 	"repro/internal/opt"
 	"repro/internal/straggler"
@@ -39,21 +40,29 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "serve", "serve|server|worker")
-		listen  = flag.String("listen", ":8080", "HTTP listen address (serve)")
-		engines = flag.Int("engines", 2, "engine-pool size (serve)")
-		queue   = flag.Int("queue", 64, "job-queue depth (serve)")
-		retain  = flag.Int("retain", 256, "terminal jobs retained (serve)")
-		addr    = flag.String("addr", ":7077", "listen/dial address (server, worker)")
-		workers = flag.Int("workers", 4, "workers per engine (serve) or per cluster (server)")
-		id      = flag.Int("id", 0, "worker id (worker)")
-		updates = flag.Int("updates", 200, "ASGD updates to run (server)")
-		delayW  = flag.Int("straggle", -1, "worker id to delay at 100% (worker; -1 = none)")
+		role     = flag.String("role", "serve", "serve|server|worker")
+		listen   = flag.String("listen", ":8080", "HTTP listen address (serve)")
+		engines  = flag.Int("engines", 2, "engine-pool size (serve)")
+		queue    = flag.Int("queue", 64, "job-queue depth (serve)")
+		retain   = flag.Int("retain", 256, "terminal jobs retained (serve)")
+		storeDir = flag.String("store-dir", "", "WAL directory for durable job state (serve; empty = in-memory only)")
+		quota    = flag.Int("tenant-quota", 0, "max queued jobs per tenant (serve; 0 = unlimited)")
+		sloSlack = flag.Duration("slo-slack", 5*time.Second, "deadline slack below which SLO jobs may preempt (serve)")
+		compact  = flag.Int("compact-every", 1024, "WAL appends between compactions (serve)")
+		addr     = flag.String("addr", ":7077", "listen/dial address (server, worker)")
+		workers  = flag.Int("workers", 4, "workers per engine (serve) or per cluster (server)")
+		id       = flag.Int("id", 0, "worker id (worker)")
+		updates  = flag.Int("updates", 200, "ASGD updates to run (server)")
+		delayW   = flag.Int("straggle", -1, "worker id to delay at 100% (worker; -1 = none)")
 	)
 	flag.Parse()
 	switch *role {
 	case "serve":
-		if err := runService(*listen, *engines, *workers, *queue, *retain); err != nil {
+		if err := runService(serviceConfig{
+			listen: *listen, engines: *engines, workers: *workers,
+			queue: *queue, retain: *retain, storeDir: *storeDir,
+			tenantQuota: *quota, sloSlack: *sloSlack, compactEvery: *compact,
+		}); err != nil {
 			fatalf("serve: %v", err)
 		}
 	case "server":
@@ -73,23 +82,58 @@ func main() {
 	}
 }
 
-// runService runs the job-scheduling daemon until SIGINT/SIGTERM.
-func runService(listen string, engines, workers, queue, retain int) error {
-	sched, err := jobs.New(jobs.Config{
-		Engines:       engines,
-		QueueDepth:    queue,
-		Retention:     retain,
-		EngineOptions: []async.Option{async.WithWorkers(workers)},
-	})
+// serviceConfig bundles the serve-role flags.
+type serviceConfig struct {
+	listen       string
+	engines      int
+	workers      int
+	queue        int
+	retain       int
+	storeDir     string
+	tenantQuota  int
+	sloSlack     time.Duration
+	compactEvery int
+}
+
+// runService runs the job-scheduling daemon until SIGINT/SIGTERM. With
+// -store-dir, job state is durable: every lifecycle transition is WAL-logged
+// before it is acknowledged, boot replays the log (resuming interrupted jobs
+// from their last durable checkpoint), and a signal drains gracefully —
+// running jobs preempt at their next update boundary, checkpoints persist,
+// and the WAL is fsynced before exit.
+func runService(cfg serviceConfig) error {
+	jc := jobs.Config{
+		Engines:       cfg.engines,
+		QueueDepth:    cfg.queue,
+		Retention:     cfg.retain,
+		TenantQuota:   cfg.tenantQuota,
+		SLOSlack:      cfg.sloSlack,
+		CompactEvery:  cfg.compactEvery,
+		EngineOptions: []async.Option{async.WithWorkers(cfg.workers)},
+	}
+	if cfg.storeDir != "" {
+		w, err := store.Open(cfg.storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		jc.Store = w
+	}
+	sched, err := jobs.New(jc)
 	if err != nil {
 		return err
 	}
 	defer sched.Close()
-	srv := &http.Server{Addr: listen, Handler: jobs.NewHandler(sched)}
+	if cfg.storeDir != "" {
+		st := sched.Stats()
+		fmt.Fprintf(os.Stderr, "asyncd: recovered %d jobs from %s in %.1fms\n",
+			st.RecoveredJobs, cfg.storeDir, st.RecoveryMS)
+	}
+	srv := &http.Server{Addr: cfg.listen, Handler: jobs.NewHandler(sched)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "asyncd: serving on %s (%d engines × %d workers, queue %d)\n",
-		listen, engines, workers, queue)
+		cfg.listen, cfg.engines, cfg.workers, cfg.queue)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -98,7 +142,17 @@ func runService(listen string, engines, workers, queue, retain int) error {
 	case sig := <-stop:
 		fmt.Fprintf(os.Stderr, "asyncd: %v, draining\n", sig)
 	}
-	// close the scheduler first: it cancels jobs and closes event
+	// graceful drain: stop dispatching, preempt running jobs so their
+	// checkpoints spill durably, fsync the WAL. Bounded so a
+	// non-cooperating solver cannot hold shutdown hostage.
+	if jc.Store != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := sched.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "asyncd: drain: %v\n", err)
+		}
+		dcancel()
+	}
+	// close the scheduler next: it cancels jobs and closes event
 	// subscriptions, so long-lived SSE handlers return and Shutdown can
 	// drain instead of hanging on them until the timeout
 	if err := sched.Close(); err != nil {

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/async/jobs"
+	"repro/async/jobs/store"
+	"repro/internal/la"
+	"repro/internal/opt"
+)
+
+func durableSpec() jobs.Spec {
+	return jobs.Spec{
+		Algorithm: "asgd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Step:      jobs.StepSpec{Kind: "const", A: 0.01},
+		Updates:   25,
+	}
+}
+
+// storeMetrics measures the durability layer in isolation: the
+// fsync-inclusive append latency the append-before-ack invariant pays, and
+// cold-boot recovery over a populated log.
+func storeMetrics(log func(Entry)) error {
+	// store.append_ns: one durable transition (frame encode + write + fsync)
+	dir, err := os.MkdirTemp("", "bench-wal-append-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	w, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	var appendErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := &store.Record{Type: store.TypeCheckpointed, Job: "job-000001", Updates: int64(i), DispatchSeq: int64(i)}
+			if appendErr = w.Append(rec); appendErr != nil {
+				b.Fatal(appendErr)
+			}
+		}
+	})
+	w.Close()
+	if appendErr != nil {
+		return appendErr
+	}
+	log(Entry{Name: "store.append_ns", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: "durable WAL append: frame encode + write + fsync (append-before-ack)"})
+
+	// store.recovery_ms: scheduler cold boot over a 200-job log — replay,
+	// rebuild, checkpoint loads, post-recovery compaction.
+	dir2, err := os.MkdirTemp("", "bench-wal-recover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir2)
+	w2, err := store.Open(dir2, store.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(durableSpec())
+	if err != nil {
+		return err
+	}
+	cp := &opt.Checkpoint{Algorithm: "asgd", W: la.NewVec(1000), Updates: 500}
+	cp.SetInt("dispatch_seq", 7)
+	const jobsN = 200
+	for i := 1; i <= jobsN; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		if err := w2.Append(&store.Record{Type: store.TypeSubmitted, Job: id, JobSeq: int64(i), Spec: specJSON}); err != nil {
+			return err
+		}
+		switch i % 4 {
+		case 0: // terminal
+			if err := w2.Append(&store.Record{Type: store.TypeDispatched, Job: id}); err != nil {
+				return err
+			}
+			if err := w2.Append(&store.Record{Type: store.TypeDone, Job: id, Updates: 25, FinalError: 0.01, HasFinal: true}); err != nil {
+				return err
+			}
+		case 1: // preempted with a durable checkpoint to load
+			if err := w2.Append(&store.Record{Type: store.TypeDispatched, Job: id}); err != nil {
+				return err
+			}
+			if err := w2.SaveCheckpoint(id, 7, cp); err != nil {
+				return err
+			}
+			if err := w2.Append(&store.Record{Type: store.TypeCheckpointed, Job: id, Updates: 500, DispatchSeq: 7}); err != nil {
+				return err
+			}
+			if err := w2.Append(&store.Record{Type: store.TypePreempted, Job: id, Updates: 500, DispatchSeq: 7}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w2.Close(); err != nil {
+		return err
+	}
+	w3, err := store.Open(dir2, store.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer w3.Close()
+	s, err := jobs.New(jobs.Config{
+		Engines:       1,
+		QueueDepth:    jobsN + 1,
+		Retention:     jobsN + 1,
+		Store:         w3,
+		EngineOptions: []async.Option{async.WithWorkers(1), async.WithPartitions(2)},
+	})
+	if err != nil {
+		return err
+	}
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if st.RecoveredJobs != jobsN {
+		return fmt.Errorf("bench: recovered %d jobs, want %d", st.RecoveredJobs, jobsN)
+	}
+	log(Entry{Name: "store.recovery_ms", Value: st.RecoveryMS, Unit: "ms", Better: LowerIsBetter,
+		Note: fmt.Sprintf("cold boot over a %d-job log (queued/preempted/done mix, checkpoint loads, compaction)", jobsN)})
+	return nil
+}
+
+// durableSchedulerMetrics measures serving throughput with durability on —
+// every transition fsynced — across a drain/restart cycle in the middle of
+// the run, so the number prices recovery into the sustained rate.
+func durableSchedulerMetrics(log func(Entry)) error {
+	dir, err := os.MkdirTemp("", "bench-wal-sustained-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	w, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	const n = 40
+	cfg := jobs.Config{
+		Engines:    2,
+		QueueDepth: n + 2,
+		Retention:  n + 2,
+		Store:      w,
+		EngineOptions: []async.Option{
+			async.WithWorkers(2),
+			async.WithPartitions(2),
+		},
+	}
+	s, err := jobs.New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// warm up: engines spun, dataset generated and distributed
+	warm, err := s.Submit(durableSpec())
+	if err != nil {
+		return err
+	}
+	if _, err := s.Wait(ctx, warm); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	ids := make([]jobs.ID, n)
+	for i := range ids {
+		if ids[i], err = s.Submit(durableSpec()); err != nil {
+			return err
+		}
+	}
+	// let half the batch complete, then restart the service mid-run
+	for s.Stats().Done < 1+n/2 {
+		if ctx.Err() != nil {
+			return fmt.Errorf("bench: durable batch stalled: %w", ctx.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Drain(ctx); err != nil {
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	w2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer w2.Close()
+	cfg.Store = w2
+	s2, err := jobs.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s2.Close()
+	for _, id := range ids {
+		job, err := s2.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		if job.State != jobs.StateDone {
+			return fmt.Errorf("bench: durable job %s finished %s (%s)", job.ID, job.State, job.Err)
+		}
+	}
+	elapsed := time.Since(start)
+	log(Entry{Name: "scheduler.sustained_jobs_per_sec", Value: float64(n) / elapsed.Seconds(), Unit: "jobs/sec", Better: HigherIsBetter,
+		Note: fmt.Sprintf("%d ASGD jobs through a WAL-backed 2-engine pool with a mid-batch drain/restart", n)})
+	return nil
+}

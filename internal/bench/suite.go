@@ -64,6 +64,12 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := preemptMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := storeMetrics(log); err != nil {
+		return nil, err
+	}
+	if err := durableSchedulerMetrics(log); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
