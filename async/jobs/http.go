@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/async"
@@ -24,10 +25,12 @@ import (
 //	GET    /v1/jobs/{id}/events     live event stream (Server-Sent Events)
 //	POST   /v1/jobs/{id}/preempt    checkpoint the running job aside (202)
 //	GET    /v1/jobs/{id}/checkpoint latest driver checkpoint (binary format)
+//	GET    /v1/jobs/{id}/trace      run-scoped trace events (JSONL download)
 //	DELETE /v1/jobs/{id}            cancel (202)
 //	GET    /v1/healthz              liveness + capacity summary
 //	GET    /v1/stats                serving counters (Stats, JSON)
 //	GET    /v1/metrics              Prometheus text exposition format
+//	GET    /debug/pprof/            live profiling (CPU, heap, goroutines, ...)
 //
 // The handler owns no lifecycle: closing the scheduler is the caller's
 // job. Every error body is {"error": "..."}.
@@ -127,6 +130,16 @@ func NewHandler(s *Scheduler) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(buf.Bytes())
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := s.Trace(ID(r.PathValue("id")))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = tr.WriteTo(w)
+	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		id := ID(r.PathValue("id"))
 		events, stop, err := s.Subscribe(id)
@@ -186,6 +199,13 @@ func NewHandler(s *Scheduler) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		s.WritePrometheus(w)
 	})
+	// live profiling: the stdlib pprof handlers, mounted explicitly so the
+	// daemon does not depend on http.DefaultServeMux side effects
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/async"
 	"repro/internal/metrics"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 // ID identifies a submitted job.
@@ -102,6 +103,10 @@ type Job struct {
 	// ResumedFrom names the job whose checkpoint seeded this one (Spec
 	// resume_from submissions).
 	ResumedFrom ID `json:"resumed_from,omitempty"`
+	// RunStats carries the engine's coordinator-level statistics for the
+	// job's run — update clock, staleness distribution, per-worker waits —
+	// sampled at each progress event and at run unwind.
+	RunStats *async.RunStats `json:"run_stats,omitempty"`
 }
 
 // job is the scheduler-internal record; all fields are guarded by the
@@ -153,6 +158,13 @@ type job struct {
 	cpUpdates int64
 	cpSpilled bool
 
+	// trace is the job's run-scoped telemetry stream (scheduler lifecycle
+	// events plus the driver runtime's, correlated by job ID). Immutable
+	// pointer after Submit/rebuild; the Trace itself is internally locked.
+	trace *telemetry.Trace
+	// runStats is the latest engine-coordinator snapshot for the job's run.
+	runStats *async.RunStats
+
 	events   []Event
 	eventSeq int
 	subs     []chan Event
@@ -174,6 +186,7 @@ func (j *job) snapshot() Job {
 		Preemptions:   j.preemptions,
 		HasCheckpoint: j.cp != nil,
 		ResumedFrom:   j.resumedFrom,
+		RunStats:      j.runStats,
 	}
 	switch {
 	case j.state == StateQueued || j.state == StatePreempted:

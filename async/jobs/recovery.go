@@ -9,6 +9,7 @@ import (
 
 	"repro/async/jobs/store"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 // replayJob accumulates one job's state while the log replays: the last
@@ -98,6 +99,21 @@ func (s *Scheduler) recover() error {
 		if rj.jobSeq > s.seq {
 			s.seq = rj.jobSeq
 		}
+		// rebuild the serving counters the log proves: every replayed job was
+		// once accepted, and terminal records pin their outcome. Without this
+		// the Prometheus counters would reset to zero on every restart while
+		// the job listing still showed the finished work. Jobs that fail
+		// during rebuild (stale spec) are counted by finalizeLocked itself.
+		s.submitted++
+		s.preemptedN += int64(rj.preemptions)
+		switch rj.state {
+		case StateDone:
+			s.doneN++
+		case StateFailed:
+			s.failedN++
+		case StateCanceled:
+			s.killedN++
+		}
 		j, err := s.rebuildLocked(rj)
 		if err != nil {
 			return err
@@ -151,6 +167,13 @@ func (s *Scheduler) rebuildLocked(rj *replayJob) (*job, error) {
 	}
 	if spec.SLOMillis > 0 {
 		j.deadline = j.submitted.Add(time.Duration(spec.SLOMillis) * time.Millisecond)
+	}
+	j.trace = telemetry.NewTrace(string(j.id), 0)
+	j.trace.Event("recovered", "state", string(rj.state), "updates", rj.updates,
+		"preemptions", rj.preemptions)
+	s.tenantSub[spec.Tenant]++
+	if rj.state == StateDone {
+		s.tenantDone[spec.Tenant]++
 	}
 	s.jobs[j.id] = j
 

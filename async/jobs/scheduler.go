@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/async/jobs/store"
 	"repro/internal/dataset"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 // Backpressure and lookup errors of the public API.
@@ -191,6 +193,17 @@ type Scheduler struct {
 	dsMu    sync.Mutex
 	dsCache map[string]*dsEntry
 	dsOrder []string // LRU order, least-recent first
+
+	// telemetry: the scheduler-private registry (asyncd_* families), the
+	// live queue-wait histograms observed at dispatch, and the snapshot the
+	// scrape-time function metrics read (refreshed by WritePrometheus).
+	reg          *telemetry.Registry
+	mQWaitPrio   telemetry.HistogramVec
+	mQWaitTenant telemetry.HistogramVec
+	scrapeMu     sync.Mutex
+	scrape       Stats
+	scrapeUptime float64
+	scrapeStore  *storeMetricsView
 }
 
 // New builds a scheduler; engines spin up lazily on demand. With a
@@ -208,6 +221,7 @@ func New(cfg Config) (*Scheduler, error) {
 		tenantRej:  map[string]int64{},
 		tenantDone: map[string]int64{},
 	}
+	s.registerMetrics()
 	if cfg.Store != nil {
 		if err := s.recover(); err != nil {
 			return nil, err
@@ -308,6 +322,9 @@ func (s *Scheduler) Submit(spec Spec) (ID, error) {
 	if spec.SLOMillis > 0 {
 		j.deadline = now.Add(time.Duration(spec.SLOMillis) * time.Millisecond)
 	}
+	j.trace = telemetry.NewTrace(string(id), 0)
+	j.trace.Event("queued", "algorithm", spec.Algorithm, "tenant", spec.Tenant,
+		"priority", spec.Priority, "resumed_from", string(src))
 	s.jobs[j.id] = j
 	s.enqueueLocked(j)
 	s.submitted++
@@ -364,6 +381,18 @@ func (s *Scheduler) Checkpoint(id ID) (*opt.Checkpoint, error) {
 		return nil, ErrNoCheckpoint
 	}
 	return j.cp, nil
+}
+
+// Trace returns the job's run-scoped trace (JSONL event ring). The trace is
+// append-only and safe to read while the job runs.
+func (s *Scheduler) Trace(id ID) (*telemetry.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.trace, nil
 }
 
 // Status returns a snapshot of the job.
@@ -757,6 +786,12 @@ func (s *Scheduler) dispatchLocked() {
 			s.queueWaitMax = wait
 		}
 		s.startedN++
+		s.mQWaitPrio.With(strconv.Itoa(j.spec.Priority)).ObserveDuration(wait)
+		if t := j.spec.Tenant; t != "" {
+			s.mQWaitTenant.With(t).ObserveDuration(wait)
+		}
+		j.trace.Event("dispatched", "engine", sl.id,
+			"wait_ms", float64(wait.Microseconds())/1000.0, "resumed", resumed)
 		if resumed {
 			s.emitLocked(j, EventResumed, "")
 		} else {
@@ -915,8 +950,17 @@ func (s *Scheduler) pickLocked() (*slot, *job) {
 func (s *Scheduler) run(sl *slot, j *job) {
 	defer s.wg.Done()
 	res, err := s.execute(sl, j)
+	// capture the run's coordinator statistics while this goroutine still
+	// owns the slot (the engine is quiescent between Solve and the release)
+	var rs *async.RunStats
+	if sl.eng != nil {
+		rs = sl.eng.RunStats()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if rs != nil {
+		j.runStats = rs
+	}
 	sl.busy = false
 	s.useSeq++
 	sl.lastUsed = s.useSeq
@@ -925,6 +969,7 @@ func (s *Scheduler) run(sl *slot, j *job) {
 		j.preempting = false
 		j.preemptions++
 		s.preemptedN++
+		j.trace.Event("preempted", "updates", pe.Checkpoint.Updates, "preemptions", j.preemptions)
 		j.cp = pe.Checkpoint
 		j.state = StatePreempted
 		j.engine = -1
@@ -1001,6 +1046,9 @@ func (s *Scheduler) execute(sl *slot, j *job) (*async.Result, error) {
 	resume := j.cp
 	s.mu.Unlock()
 	opts.Params.Preempt = sig
+	// run-scoped trace: the driver runtime adds its own lifecycle events
+	// (run_start, checkpoint, ...) to the job's stream
+	opts.Params.Trace = j.trace
 	// always wired: it only fires when a cadence is active, which may come
 	// from the spec or from an engine-level WithCheckpointEvery default
 	opts.Params.OnCheckpoint = func(cp *opt.Checkpoint) {
@@ -1043,6 +1091,11 @@ func (s *Scheduler) progress(j *job, p opt.Progress, ds *dataset.Dataset, loss o
 		return
 	}
 	j.updates = p.Updates
+	if j.engine >= 0 && j.engine < len(s.slots) {
+		if eng := s.slots[j.engine].eng; eng != nil {
+			j.runStats = eng.RunStats()
+		}
+	}
 	ev := s.newEventLocked(j, EventProgress, "")
 	ev.Updates = p.Updates
 	ev.Error = errNow
@@ -1101,6 +1154,7 @@ func (s *Scheduler) finalizeLocked(j *job, res *async.Result, err error) {
 			s.storeErrs++
 		}
 	}
+	j.trace.Event(string(typ), "updates", j.updates, "message", j.err)
 	ev := s.newEventLocked(j, typ, j.err)
 	ev.Updates = j.updates
 	ev.Error = j.finalErr

@@ -63,6 +63,16 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	// sweep temp files orphaned by a crash mid temp+fsync+rename: no writer
+	// is live at Open, so any *.tmp is dead by definition (the spill GC only
+	// ever matches completed .ckpt names and would keep them forever)
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	path := filepath.Join(dir, walName)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -123,6 +133,11 @@ func Open(dir string, opts Options) (*WAL, error) {
 	}
 	w.size = int64(validEnd)
 	w.sinceCompact = int64(len(w.records))
+	walReplayed.Add(int64(len(w.records)))
+	if w.truncated {
+		walTruncations.Inc()
+	}
+	walSize.SetInt(w.size)
 	return w, nil
 }
 
@@ -150,6 +165,7 @@ func (w *WAL) Append(rec *Record) error {
 	if w.dead || w.closed {
 		return ErrClosed
 	}
+	start := time.Now()
 	w.seq++
 	rec.Seq = w.seq
 	w.buf = rec.encode(w.buf[:0])
@@ -175,6 +191,9 @@ func (w *WAL) Append(rec *Record) error {
 	}
 	w.appends++
 	w.sinceCompact++
+	walAppends.Inc()
+	walAppendLat.ObserveSince(start)
+	walSize.SetInt(w.size)
 	return nil
 }
 
@@ -189,6 +208,7 @@ func (w *WAL) syncFile(f *os.File) error {
 	}
 	w.fsyncs++
 	w.fsyncNS += time.Since(start).Nanoseconds()
+	walFsyncLat.ObserveSince(start)
 	return nil
 }
 
@@ -239,6 +259,7 @@ func (w *WAL) SaveCheckpoint(job string, dispatchSeq int64, cp *opt.Checkpoint) 
 		return fmt.Errorf("store: spill %s: %w", job, err)
 	}
 	w.spills++
+	walSpills.Inc()
 	w.dropSpillsLocked(job, name)
 	return nil
 }
@@ -338,6 +359,9 @@ func (w *WAL) Compact(snapshot []*Record) error {
 	w.sinceCompact = 0
 	w.compactions++
 	w.appends += int64(len(snapshot))
+	walCompactions.Inc()
+	walAppends.Add(int64(len(snapshot)))
+	walSize.SetInt(w.size)
 	// GC spills of jobs the compacted log no longer mentions
 	entries, err := os.ReadDir(w.dir)
 	if err == nil {
@@ -371,6 +395,7 @@ func (w *WAL) Sync() error {
 	}
 	w.fsyncs++
 	w.fsyncNS += time.Since(start).Nanoseconds()
+	walFsyncLat.ObserveSince(start)
 	return nil
 }
 

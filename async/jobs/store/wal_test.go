@@ -272,6 +272,24 @@ func TestWALCheckpointSpill(t *testing.T) {
 	}
 }
 
+func TestWALOpenSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	// a crash mid temp+fsync+rename leaves the temp behind; the spill GC
+	// never matches it, so Open must sweep it
+	orphan := filepath.Join(dir, "cp-job-000001-5.ckpt.tmp")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp survived Open: %v", err)
+	}
+}
+
 func TestWALCompact(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(dir, Options{})

@@ -1,0 +1,47 @@
+package async
+
+import (
+	"repro/internal/metrics"
+)
+
+// RunStats snapshots the engine's coordinator-level statistics for the run
+// in flight (or the last completed one): the logical update clock, in-flight
+// tasks, and the staleness and per-worker wait distributions the paper
+// reports (Figures 4/6, Table 3). Safe to call concurrently with a solve;
+// ResetRun between solves clears the distributions.
+type RunStats struct {
+	Updates int64 `json:"updates"`
+	Pending int   `json:"pending"`
+
+	Staleness metrics.StalenessSummary `json:"staleness"`
+	Wait      metrics.WaitSummary      `json:"wait"`
+
+	// StalenessHist is the raw distribution: staleness value → count.
+	StalenessHist map[int64]int64 `json:"staleness_hist,omitempty"`
+	// WorkerWaitMS is each worker's mean wait between submitting a result
+	// and receiving the next task, in milliseconds.
+	WorkerWaitMS map[int]float64 `json:"worker_wait_ms,omitempty"`
+}
+
+// RunStats captures the coordinator's current run statistics.
+func (e *Engine) RunStats() *RunStats {
+	co := e.ac.Coordinator()
+	hist := co.StalenessHistogram()
+	waits := co.WaitTimes()
+	rs := &RunStats{
+		Updates:   co.Updates(),
+		Pending:   co.Pending(),
+		Staleness: metrics.SummarizeStaleness(hist),
+		Wait:      metrics.SummarizeWaits(waits),
+	}
+	if len(hist) > 0 {
+		rs.StalenessHist = hist
+	}
+	if len(waits) > 0 {
+		rs.WorkerWaitMS = make(map[int]float64, len(waits))
+		for w, d := range waits {
+			rs.WorkerWaitMS[w] = float64(d.Microseconds()) / 1000.0
+		}
+	}
+	return rs
+}

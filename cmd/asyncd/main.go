@@ -11,6 +11,11 @@
 //	asyncd -listen :8080 -engines 2 -workers 4
 //	curl -s localhost:8080/v1/jobs -d '{"algorithm":"asgd","dataset":{"name":"rcv1-like"}}'
 //
+// The serve role is fully observable: GET /v1/metrics is a Prometheus
+// scrape covering every layer (serving, coordinator, driver runtime, WAL,
+// wire codec), GET /v1/jobs/{id}/trace downloads a job's run-scoped JSONL
+// event trace, and /debug/pprof/ serves live CPU/heap/goroutine profiles.
+//
 // TCP demo roles: one server process driving N worker processes over real
 // sockets, demonstrating the ASYNC protocol (tasks, results, installs,
 // versioned broadcast fetches) across a real transport:

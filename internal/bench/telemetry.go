@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryMetrics prices the instrumentation the spine adds to every hot
+// path: one counter increment plus one histogram observation on a fresh
+// registry, the exact pair the coordinator pays per ingested result. The
+// alloc count is measured alongside — the zero-alloc invariant is part of
+// the contract, and a regression here taxes every layer at once.
+func telemetryMetrics(log func(Entry)) error {
+	r := telemetry.NewRegistry()
+	c := r.Counter("bench_ops_total", "benchmark counter")
+	h := r.Histogram("bench_latency_seconds", "benchmark histogram", telemetry.LatencyBuckets())
+	op := func() {
+		c.Inc()
+		h.Observe(3.2e-5)
+	}
+	allocs := testing.AllocsPerRun(1000, op)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	log(Entry{Name: "telemetry.overhead_ns", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: fmt.Sprintf("counter Inc + histogram Observe per hot-path event; %.0f allocs/op", allocs)})
+	if allocs != 0 {
+		return fmt.Errorf("bench: telemetry hot path allocates (%.0f allocs/op)", allocs)
+	}
+	return nil
+}

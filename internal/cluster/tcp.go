@@ -59,7 +59,7 @@ func (e *FramedEndpoint) Send(m Message) error {
 	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	out, _, err := appendFrameBody(&e.enc, e.out[:0], &m, e.binSend.Load())
+	out, usedBinary, err := appendFrameBody(&e.enc, e.out[:0], &m, e.binSend.Load())
 	if err != nil {
 		return fmt.Errorf("cluster: framed send: %w", err)
 	}
@@ -70,6 +70,7 @@ func (e *FramedEndpoint) Send(m Message) error {
 	if err := e.bw.Flush(); err != nil {
 		return fmt.Errorf("cluster: framed send: %w", err)
 	}
+	countTx(usedBinary, len(out))
 	return nil
 }
 
@@ -89,6 +90,7 @@ func (e *FramedEndpoint) Recv() (Message, error) {
 		if _, err := io.ReadFull(e.br, body); err != nil {
 			return Message{}, fmt.Errorf("cluster: framed recv: %w", err)
 		}
+		countRx(hdr[4], int(l)+4)
 		m, err := decodeFrameBody(hdr[4], body)
 		if err != nil {
 			return Message{}, err

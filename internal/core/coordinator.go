@@ -20,13 +20,14 @@ var ErrBarrierTimeout = errors.New("core: barrier timed out")
 
 // workerState is the coordinator's internal per-worker record.
 type workerState struct {
-	alive     bool
-	available bool
-	dispatch  int64 // logical clock when current/last task was dispatched
-	lastStale int64 // staleness of the last completed task
-	totalTime time.Duration
-	completed int64
-	inflight  int64 // task id in flight (0 = none)
+	alive      bool
+	available  bool
+	dispatch   int64 // logical clock when current/last task was dispatched
+	dispatchAt time.Time
+	lastStale  int64 // staleness of the last completed task
+	totalTime  time.Duration
+	completed  int64
+	inflight   int64 // task id in flight (0 = none)
 }
 
 // Coordinator is the ASYNCcoordinator (§4.2): it consumes worker results,
@@ -125,6 +126,13 @@ func (co *Coordinator) ingest(r *cluster.Result) {
 	co.waitTotal[r.Worker] += r.WaitTime
 	co.waitCount[r.Worker]++
 	co.staleHist[staleness]++
+	mResultsIngested.Inc()
+	mStaleness.Observe(float64(staleness))
+	mTaskWait.ObserveDuration(r.WaitTime)
+	mTaskCompute.ObserveDuration(r.ComputeTime)
+	if !ws.dispatchAt.IsZero() {
+		mDispatchRoundtrip.ObserveSince(ws.dispatchAt)
+	}
 	if !r.Failed() {
 		attrs := Attrs{
 			Worker:    r.Worker,
@@ -253,8 +261,10 @@ func (co *Coordinator) noteDispatch(worker int, taskID, clock int64) {
 	}
 	ws.available = false
 	ws.dispatch = clock
+	ws.dispatchAt = time.Now()
 	ws.inflight = taskID
 	co.pending++
+	mTasksDispatched.Inc()
 	co.cond.Broadcast()
 }
 
@@ -350,6 +360,7 @@ func (co *Coordinator) AdvanceClock() int64 {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.updates++
+	mClockAdvances.Inc()
 	co.cond.Broadcast()
 	return co.updates
 }

@@ -105,18 +105,78 @@ type WaitSummary struct {
 
 // Waits summarizes the trace's per-worker average wait times.
 func (t *Trace) Waits() WaitSummary {
-	s := WaitSummary{Workers: len(t.AvgWait)}
-	if len(t.AvgWait) == 0 {
+	return SummarizeWaits(t.AvgWait)
+}
+
+// SummarizeWaits condenses a per-worker wait map (coordinator WaitTimes or
+// trace AvgWait) into the scalar summary the serving layer reports.
+func SummarizeWaits(waits map[int]time.Duration) WaitSummary {
+	s := WaitSummary{Workers: len(waits)}
+	if len(waits) == 0 {
 		return s
 	}
-	var max time.Duration
-	for _, w := range t.AvgWait {
+	var sum, max time.Duration
+	for _, w := range waits {
+		sum += w
 		if w > max {
 			max = w
 		}
 	}
-	s.MeanMS = float64(t.MeanWait().Microseconds()) / 1000.0
+	mean := sum / time.Duration(len(waits))
+	s.MeanMS = float64(mean.Microseconds()) / 1000.0
 	s.MaxMS = float64(max.Microseconds()) / 1000.0
+	return s
+}
+
+// StalenessSummary condenses a staleness histogram (staleness value →
+// occurrence count, the coordinator's per-run record) into the scalars a
+// serving layer reports per job.
+type StalenessSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// SummarizeStaleness summarizes a staleness histogram. Percentiles are exact
+// (the histogram is already the full distribution, not a sketch).
+func SummarizeStaleness(hist map[int64]int64) StalenessSummary {
+	var s StalenessSummary
+	if len(hist) == 0 {
+		return s
+	}
+	vals := make([]int64, 0, len(hist))
+	var weighted float64
+	for v, n := range hist {
+		if n <= 0 {
+			continue
+		}
+		vals = append(vals, v)
+		s.Count += n
+		weighted += float64(v) * float64(n)
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if s.Count == 0 {
+		return StalenessSummary{}
+	}
+	s.Mean = weighted / float64(s.Count)
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	pct := func(p float64) int64 {
+		rank := int64(math.Ceil(p * float64(s.Count)))
+		var cum int64
+		for _, v := range vals {
+			cum += hist[v]
+			if cum >= rank {
+				return v
+			}
+		}
+		return vals[len(vals)-1]
+	}
+	s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
 	return s
 }
 

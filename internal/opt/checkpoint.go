@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/la"
@@ -103,6 +104,7 @@ var checkpointMagic = []byte("ACP1")
 // SaveCheckpoint writes the checkpoint in the compact binary format (the
 // same varint/raw-float encoding the wire codec uses).
 func SaveCheckpoint(w io.Writer, c *Checkpoint) error {
+	defer func(start time.Time) { optCpSave.ObserveSince(start) }(time.Now())
 	if err := c.Validate(); err != nil {
 		return err
 	}
@@ -157,6 +159,7 @@ func sortedKeys[V any](m map[string]V) []string {
 // — a corrupt length field fails before any outsized allocation; files
 // written by older releases decode through the gob fallback.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	defer func(start time.Time) { optCpLoad.ObserveSince(start) }(time.Now())
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("opt: load checkpoint: %w", err)

@@ -112,6 +112,29 @@ type runState struct {
 	// cpDue is set by the update-boundary hook when the global clock hits
 	// the checkpoint cadence; consumed on the driver goroutine.
 	cpDue bool
+	// sinceSettle counts partials folded since the last Settle — the
+	// lazy-update backlog exported through async_opt_lazy_settle_backlog.
+	sinceSettle int64
+}
+
+// apply folds one partial into the updater, timing the driver-side cost and
+// tracking the lazy-settle backlog.
+func (rt *runState) apply(payload any, attrs *core.Attrs, alpha float64) error {
+	start := time.Now()
+	err := rt.u.Apply(payload, attrs, alpha)
+	optApply.ObserveSince(start)
+	rt.sinceSettle++
+	optBacklog.SetInt(rt.sinceSettle)
+	return err
+}
+
+// settle flushes lazily-deferred updater state and zeroes the backlog gauge.
+func (rt *runState) settle() {
+	start := time.Now()
+	rt.u.Settle()
+	optSettle.ObserveSince(start)
+	rt.sinceSettle = 0
+	optBacklog.SetInt(0)
 }
 
 // onAdvance is the core update-boundary hook: it observes every clock
@@ -150,13 +173,14 @@ func (rt *runState) export(global int64) *Checkpoint {
 func (rt *runState) afterUpdate(rec *Recorder, global int64) (preempt bool) {
 	p := rt.spec.P
 	if rec.Due(global) {
-		rt.u.Settle()
+		rt.settle()
 	}
 	rec.Maybe(global, rt.u.Model())
 	if rt.cpDue {
 		rt.cpDue = false
 		if p.OnCheckpoint != nil {
-			rt.u.Settle()
+			rt.settle()
+			p.Trace.Event("checkpoint", "global", global)
 			p.OnCheckpoint(rt.export(global))
 		}
 	}
@@ -166,11 +190,13 @@ func (rt *runState) afterUpdate(rec *Recorder, global int64) (preempt bool) {
 // preempted finalizes a preempted run: settle, capture, drain, and wrap the
 // checkpoint in the error the supervising layer dispatches on.
 func (rt *runState) preempted(ac *core.Context, global int64) (*Result, error) {
-	rt.u.Settle()
+	rt.settle()
 	cp := rt.export(global)
 	if ac != nil {
 		drain(ac, 5*time.Second)
 	}
+	optPreempts.Inc()
+	rt.spec.P.Trace.Event("preempted", "algo", rt.spec.Algo, "global", global)
 	return nil, &PreemptedError{Checkpoint: cp}
 }
 
@@ -180,14 +206,14 @@ func (rt *runState) publish(ac *core.Context, global int64) core.DynBroadcast {
 	switch spec.Publish {
 	case pubStamped:
 		return ac.ASYNCbroadcastStamped(spec.Key, global, func() any {
-			rt.u.Settle()
+			rt.settle()
 			return rt.u.Model().Clone()
 		})
 	case pubEager:
-		rt.u.Settle()
+		rt.settle()
 		return ac.ASYNCbroadcastEager(spec.Key, rt.u.Model().Clone())
 	default:
-		rt.u.Settle()
+		rt.settle()
 		return ac.ASYNCbroadcast(spec.Key, rt.u.Model().Clone())
 	}
 }
@@ -237,8 +263,12 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 		rt.round = global // pre-runtime checkpoints carried no round counter
 	}
 
+	optRuns.Inc()
+	p.Trace.Event("run_start", "algo", spec.Algo, "target", spec.Target,
+		"global", global, "resumed", p.Resume != nil)
+
 	rec := p.recorder()
-	u.Settle()
+	rt.settle()
 	rec.Force(global, u.Model())
 
 	ru, _ := u.(RoundUpdater)
@@ -294,6 +324,7 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 				if err := spec.EpochBegin(global); err != nil {
 					return nil, err
 				}
+				p.Trace.Event("epoch_begin", "epoch", s, "global", global)
 				seg = s
 			}
 		}
@@ -320,7 +351,7 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 					if err != nil {
 						break
 					}
-					if err := u.Apply(tr.Payload, &tr.Attrs, 0); err != nil {
+					if err := rt.apply(tr.Payload, &tr.Attrs, 0); err != nil {
 						return nil, fmt.Errorf("opt: %s: %w", spec.Algo, err)
 					}
 					got++
@@ -333,7 +364,7 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 					if err != nil {
 						break
 					}
-					if err := u.Apply(tr.Payload, &tr.Attrs, 0); err != nil {
+					if err := rt.apply(tr.Payload, &tr.Attrs, 0); err != nil {
 						return nil, fmt.Errorf("opt: %s: %w", spec.Algo, err)
 					}
 				}
@@ -376,7 +407,7 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 					alpha = StalenessAdapt(alpha, tr.Attrs.Staleness)
 				}
 			}
-			if err := u.Apply(tr.Payload, &tr.Attrs, alpha); err != nil {
+			if err := rt.apply(tr.Payload, &tr.Attrs, alpha); err != nil {
 				return nil, fmt.Errorf("opt: %s: %w", spec.Algo, err)
 			}
 			global = rt.base + ac.AdvanceClock()
@@ -385,8 +416,9 @@ func runLoop(ac *core.Context, d *dataset.Dataset, u Updater, spec *loopSpec) (*
 			}
 		}
 	}
-	u.Settle()
+	rt.settle()
 	rec.Finish(global, u.Model())
+	p.Trace.Event("run_done", "algo", spec.Algo, "global", global)
 	if ac != nil {
 		drain(ac, 5*time.Second)
 		return &Result{Trace: newTrace(ac, spec.Algo, d, rec, spec.Loss, spec.FStar), W: u.Model()}, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/la"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // Params configures an optimization run.
@@ -60,6 +61,11 @@ type Params struct {
 	// solver-specific accumulators) from a checkpoint; the run continues
 	// until the global budget Updates is reached. Supersedes InitW.
 	Resume *Checkpoint
+
+	// Trace, when non-nil, receives run-scoped lifecycle events (run_start,
+	// epoch_begin, checkpoint, preempted, run_done) from the driver runtime,
+	// correlated by the supervising layer's run ID. Never serialized.
+	Trace *telemetry.Trace
 }
 
 // initModel builds the starting model for a run.

@@ -1,0 +1,27 @@
+package opt
+
+import "repro/internal/telemetry"
+
+// Driver-runtime instrumentation on the process-global registry. Apply and
+// Settle are timed at the runLoop call sites (driver side), so kernel
+// micro-benchmarks of the updaters themselves are unaffected.
+var (
+	optRuns = telemetry.Default().Counter("async_opt_runs_total",
+		"Optimization runs started by the driver runtime.")
+	optPreempts = telemetry.Default().Counter("async_opt_preemptions_total",
+		"Runs stopped at an update boundary by a preemption signal.")
+	optApply = telemetry.Default().Histogram("async_opt_apply_seconds",
+		"Driver-side Updater.Apply time per collected partial.",
+		telemetry.LatencyBuckets())
+	optSettle = telemetry.Default().Histogram("async_opt_settle_seconds",
+		"Updater.Settle time (lazy-delta flush before publish/snapshot).",
+		telemetry.LatencyBuckets())
+	optBacklog = telemetry.Default().Gauge("async_opt_lazy_settle_backlog",
+		"Partials applied since the last settle (lazy-update backlog).")
+	optCpSave = telemetry.Default().Histogram("async_opt_checkpoint_save_seconds",
+		"Checkpoint serialization time.",
+		telemetry.LatencyBuckets())
+	optCpLoad = telemetry.Default().Histogram("async_opt_checkpoint_restore_seconds",
+		"Checkpoint decode-and-validate time.",
+		telemetry.LatencyBuckets())
+)

@@ -1,0 +1,53 @@
+package telemetry
+
+import "testing"
+
+// TestHotPathZeroAllocs pins the package's core invariant: the operations
+// that sit on per-task/per-update/per-frame paths allocate nothing.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "t")
+	g := r.Gauge("alloc_g", "t")
+	h := r.Histogram("alloc_h_seconds", "t", LatencyBuckets())
+	vc := r.CounterVec("alloc_vc_total", "t", "k").With("hot") // cached child
+	vh := r.HistogramVec("alloc_vh_seconds", "t", "k", PowTwoBuckets(16)).With("hot")
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(1e-4) }},
+		{"CachedVecCounter.Inc", func() { vc.Inc() }},
+		{"CachedVecHistogram.Observe", func() { vh.Observe(7) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.op); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	// the warm With lookup itself must not allocate either
+	vec := r.CounterVec("alloc_vc_total", "t", "k")
+	if allocs := testing.AllocsPerRun(1000, func() { vec.With("hot").Inc() }); allocs != 0 {
+		t.Errorf("warm Vec.With: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_c_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_h_seconds", "b", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed buckets (upper bounds, +Inf
+// implicit) and tracks their running sum. Observe is lock-free and
+// allocation-free: one atomic add into the bucket found by binary search
+// plus a CAS loop on the float sum. Bucket counts are stored per-bucket
+// (not cumulative); the exposition accumulates them, and renders _count
+// from the bucket total so the histogram is internally consistent even
+// under concurrent observation.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, 0, len(bounds))
+	b = append(b, bounds...)
+	sort.Float64s(b)
+	// drop an explicit +Inf and duplicates; the last slot is always +Inf
+	for len(b) > 0 && math.IsInf(b[len(b)-1], 1) {
+		b = b[:len(b)-1]
+	}
+	dedup := b[:0]
+	for i, v := range b {
+		if i == 0 || v != b[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	b = dedup
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. NaN is dropped (it would poison the sum).
+func (h *Histogram) Observe(v float64) {
+	if v != v {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns cumulative counts aligned with bounds, the grand total
+// (the +Inf bucket of the exposition), and the sum.
+func (h *Histogram) snapshot() (cum []int64, total int64, sum float64) {
+	cum = make([]int64, len(h.bounds))
+	for i := range h.bounds {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	total += h.counts[len(h.bounds)].Load()
+	return cum, total, h.Sum()
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds: start,
+// start*factor, start*factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// PowTwoBuckets returns the power-of-two integer bounds 0, 1, 2, 4, ...,
+// 2^(n-2) — the natural shape for staleness and queue-depth distributions.
+func PowTwoBuckets(n int) []float64 {
+	b := make([]float64, n)
+	for i := 1; i < n; i++ {
+		b[i] = float64(int64(1) << (i - 1))
+	}
+	return b
+}
+
+// LatencyBuckets returns the default latency bounds: 1µs doubling up to
+// ~8.4s (24 buckets), covering fsyncs through full checkpoint captures.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 24) }
