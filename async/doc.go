@@ -13,15 +13,28 @@
 //		Params: opt.Params{Step: opt.InvSqrt{A: 0.01}, SampleFrac: 0.25, Updates: 400},
 //	})
 //
+// The objective is declared structurally: a named smooth loss
+// (least-squares default, logistic) plus optional elastic-net penalties.
+// An ℓ1 term is solved with a proximal step — final models carry exact
+// zeros — and is accepted by the prox-capable solvers (sgd, asgd, cd,
+// gcg); everything else rejects it up front:
+//
+//	res, err := eng.Solve(ctx, "cd", d, async.SolveOptions{
+//		Objective: async.Objective{Loss: "least-squares", L2: 0.01, L1: 0.001},
+//		Params:    opt.Params{Updates: 200},
+//	})
+//
 // Engines are configured with functional options: WithWorkers, WithSeed,
 // WithTransport (Local or TCP), WithBarrier / WithStalenessBound (the
 // default barrier-control policy: ASP, BSP, SSP or any custom predicate),
 // WithPartitions, WithStraggler and WithMinTaskTime.
 //
 // Algorithms are resolved through a name-keyed registry: the paper's
-// methods (sgd, asgd, saga, asaga, svrg, admm, bcd), the Mllib-style
-// baseline (mllib-sgd) and the TCP-transport variants (asgd-remote,
-// asaga-remote) are pre-registered, and new workloads plug in via
+// methods (sgd, asgd, saga, asaga, svrg, admm, bcd), the composite-
+// objective family (cd — proximal coordinate descent with incremental
+// residuals, gcg — restart-based generalized conjugate gradient), the
+// Mllib-style baseline (mllib-sgd) and the TCP-transport variants
+// (asgd-remote, asaga-remote) are pre-registered, and new workloads plug in via
 // Register without touching the engine. Solvers receive a context.Context
 // that is threaded down into the AC, so cancellation or a deadline aborts
 // barrier waits and result collection mid-run.

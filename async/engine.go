@@ -25,9 +25,16 @@ type Result = opt.Result
 
 // SolveOptions configures one Solve call: the shared opt.Params (step
 // schedule, sampling rate, update budget, barrier override, ...), the
-// reference optimum FStar for error traces, and the per-family extension
-// knobs. A nil Barrier inherits the engine's WithBarrier default.
+// structured composite Objective, the reference optimum FStar for error
+// traces, and the per-family extension knobs. A nil Barrier inherits the
+// engine's WithBarrier default.
 type SolveOptions = opt.SolveConfig
+
+// Objective is the structured composite-objective description:
+// a named loss plus optional ℓ2 (ridge) and ℓ1 (sparsity) penalties.
+// Set it on SolveOptions.Objective instead of constructing a Loss by hand;
+// Solve resolves it before the solver runs.
+type Objective = opt.ObjectiveSpec
 
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("async: engine is closed")
@@ -186,6 +193,11 @@ func (e *Engine) Solve(ctx context.Context, algorithm string, d *dataset.Dataset
 	}
 	s, err := Lookup(algorithm)
 	if err != nil {
+		return nil, err
+	}
+	// resolve the structured objective here too (the builtin registry also
+	// does, idempotently) so custom-registered solvers see Params.Loss set
+	if err := opts.ApplyObjective(); err != nil {
 		return nil, err
 	}
 	if opts.Barrier == nil {

@@ -1,0 +1,247 @@
+package jobs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/async"
+	"repro/async/jobs"
+)
+
+// gateObjective backs the normalization-equivalence checks: jobs submit and
+// park without running real optimization.
+var gateObjective = newGate("gate-objective")
+
+func init() {
+	if err := async.Register(gateObjective); err != nil {
+		panic(err)
+	}
+}
+
+// TestObjectiveAliasNormalization: the deprecated flat "loss" field and the
+// structured objective normalize to the same merged objective, and
+// loss-name aliases do not conflict with their canonical spelling.
+func TestObjectiveAliasNormalization(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	ds := jobs.DatasetSpec{Name: "rcv1-like"}
+
+	flat, err := s.Submit(jobs.Spec{Algorithm: gateObjective.name, Dataset: ds, Loss: "logistic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structured, err := s.Submit(jobs.Spec{
+		Algorithm: gateObjective.name, Dataset: ds,
+		Objective: async.Objective{Loss: "logistic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased, err := s.Submit(jobs.Spec{
+		Algorithm: gateObjective.name, Dataset: ds,
+		Loss:      "ls", // canonical alias of the structured spelling: no conflict
+		Objective: async.Objective{Loss: "least-squares", L2: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jf, _ := s.Status(flat)
+	js, _ := s.Status(structured)
+	if jf.Spec.Objective != js.Spec.Objective {
+		t.Fatalf("alias and structured submissions normalized differently: %+v vs %+v",
+			jf.Spec.Objective, js.Spec.Objective)
+	}
+	if jf.Spec.Objective.Key() != js.Spec.Objective.Key() {
+		t.Fatalf("objective keys differ: %q vs %q", jf.Spec.Objective.Key(), js.Spec.Objective.Key())
+	}
+	ja, _ := s.Status(aliased)
+	if ja.Spec.Objective.L2 != 0.01 {
+		t.Fatalf("aliased submission lost its penalty: %+v", ja.Spec.Objective)
+	}
+
+	for _, id := range []jobs.ID{flat, structured, aliased} {
+		s.Cancel(id)
+	}
+}
+
+// TestObjectiveSubmitRejections pins the submission-time gate: objectives a
+// solver cannot faithfully optimize are rejected with a pointed error
+// instead of silently dropping terms.
+func TestObjectiveSubmitRejections(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	ds := jobs.DatasetSpec{Name: "rcv1-like"}
+	cases := []struct {
+		name string
+		spec jobs.Spec
+		want string
+	}{
+		{"conflicting loss names",
+			jobs.Spec{Algorithm: "asgd", Dataset: ds, Loss: "logistic",
+				Objective: async.Objective{Loss: "least-squares"}},
+			"conflicts"},
+		{"l1 on saga",
+			jobs.Spec{Algorithm: "saga", Dataset: ds,
+				Objective: async.Objective{L2: 0.01, L1: 0.001}},
+			"no proximal step"},
+		{"l1 on svrg",
+			jobs.Spec{Algorithm: "svrg", Dataset: ds,
+				Objective: async.Objective{L1: 0.001}},
+			"no proximal step"},
+		{"penalty on admm",
+			jobs.Spec{Algorithm: "admm", Dataset: ds,
+				Objective: async.Objective{L2: 0.01}},
+			"ignores penalty terms"},
+		{"penalty on bcd",
+			jobs.Spec{Algorithm: "bcd", Dataset: ds,
+				Objective: async.Objective{L2: 0.01}},
+			"ignores penalty terms"},
+		{"auto_fstar objective mismatch",
+			jobs.Spec{Algorithm: "admm", Dataset: ds, AutoFStar: true,
+				Objective: async.Objective{Loss: "logistic"}},
+			"auto_fstar"},
+		{"unknown loss",
+			jobs.Spec{Algorithm: "asgd", Dataset: ds,
+				Objective: async.Objective{Loss: "hinge"}},
+			"unknown objective loss"},
+		{"negative l1",
+			jobs.Spec{Algorithm: "asgd", Dataset: ds,
+				Objective: async.Objective{L1: -0.5}},
+			"l1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.Submit(tc.spec)
+			if err == nil {
+				t.Fatalf("submission accepted: %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestElasticNetJobsEndToEnd runs real elastic-net solves through the
+// scheduler for every prox-capable solver family and asserts the ℓ1 term
+// actually produced a sparse final model (exact zero coordinates).
+func TestElasticNetJobsEndToEnd(t *testing.T) {
+	if _, err := async.Lookup("cd"); err != nil {
+		t.Fatalf("cd not registered: %v", err)
+	}
+	if _, err := async.Lookup("gcg"); err != nil {
+		t.Fatalf("gcg not registered: %v", err)
+	}
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	for _, algo := range []string{"cd", "gcg", "asgd"} {
+		t.Run(algo, func(t *testing.T) {
+			id, err := s.Submit(jobs.Spec{
+				Algorithm: algo,
+				Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+				Step:      jobs.StepSpec{Kind: "const", A: 0.02},
+				Objective: async.Objective{Loss: "least-squares", L2: 0.01, L1: 0.01},
+				Updates:   60, SnapshotEvery: 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitState(t, s, id, jobs.StateDone)
+			res, err := s.Result(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zeros, nonzeros := 0, 0
+			for _, x := range res.W {
+				if x == 0 {
+					zeros++
+				} else {
+					nonzeros++
+				}
+			}
+			if zeros == 0 {
+				t.Fatalf("%s: ℓ1 objective produced no exact-zero coordinates", algo)
+			}
+			if nonzeros == 0 {
+				t.Fatalf("%s: solve collapsed to the all-zero model", algo)
+			}
+		})
+	}
+}
+
+// TestHTTPElasticNetSubmit covers the wire path: a structured composite
+// objective submitted over POST /v1/jobs round-trips through JSON, runs a
+// cd solve, and an invalid objective is a 400, not a queued failure.
+func TestHTTPElasticNetSubmit(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	srv := httptest.NewServer(jobs.NewHandler(s))
+	defer srv.Close()
+
+	id := postJob(t, srv.URL, jobs.Spec{
+		Algorithm: "cd",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Objective: async.Objective{Loss: "least-squares", L2: 0.02, L1: 0.005},
+		Updates:   30, SnapshotEvery: 10,
+	})
+	job := waitState(t, s, id, jobs.StateDone)
+	if job.Spec.Objective.L1 != 0.005 {
+		t.Fatalf("objective lost over the wire: %+v", job.Spec.Objective)
+	}
+
+	bad, err := json.Marshal(jobs.Spec{
+		Algorithm: "saga",
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Objective: async.Objective{L1: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ℓ1-on-saga submission: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// FuzzObjectiveSpecDecode fuzzes the wire decode of the structured
+// objective: any JSON that unmarshals and validates must also resolve to a
+// working loss with a stable canonical key.
+func FuzzObjectiveSpecDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"loss":"logistic","l2":0.01,"l1":0.001}`,
+		`{"loss":"ls"}`,
+		`{"loss":"least-squares","l2":1}`,
+		`{"loss":"hinge"}`,
+		`{"l1":-1}`,
+		`{"l2":1e308,"l1":1e308}`,
+		`{"loss":"LOGISTIC","l1":0.5}`,
+		`not json`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var o async.Objective
+		if err := json.Unmarshal(data, &o); err != nil {
+			t.Skip()
+		}
+		if err := o.Validate(); err != nil {
+			return // invalid specs must only error, never panic
+		}
+		l, err := o.Resolve()
+		if err != nil {
+			t.Fatalf("validated objective %+v failed to resolve: %v", o, err)
+		}
+		if l.Name() == "" {
+			t.Fatalf("objective %+v resolved to a nameless loss", o)
+		}
+		if k := o.Key(); k == "" || k != o.Key() {
+			t.Fatalf("objective %+v has unstable cache key", o)
+		}
+	})
+}

@@ -386,6 +386,7 @@ func TestResumeFromInheritsSpec(t *testing.T) {
 		Algorithm:       gateManual.name,
 		Dataset:         jobs.DatasetSpec{Name: "rcv1-like"},
 		Loss:            "logistic",
+		Objective:       async.Objective{L2: 0.013, L1: 0.0017},
 		Step:            jobs.StepSpec{Kind: "const", A: 0.007},
 		SampleFrac:      0.11,
 		Updates:         71,
@@ -415,6 +416,10 @@ func TestResumeFromInheritsSpec(t *testing.T) {
 		got.Priority != 3 || !got.StalenessLR || got.CheckpointEvery != 9 ||
 		got.Algorithm != gateManual.name || got.Dataset.Name != "rcv1-like" {
 		t.Fatalf("resume_from lost source spec fields: %+v", got)
+	}
+	// the full composite objective rides along: merged loss and penalties
+	if got.Objective.Loss != "logistic" || got.Objective.L2 != 0.013 || got.Objective.L1 != 0.0017 {
+		t.Fatalf("resume_from lost the composite objective: %+v", got.Objective)
 	}
 	if got.Updates != 72 {
 		t.Fatalf("explicit override lost: updates %d, want 72", got.Updates)

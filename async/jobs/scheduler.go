@@ -1025,7 +1025,7 @@ func (s *Scheduler) execute(sl *slot, j *job) (*async.Result, error) {
 		return nil, err
 	}
 	if j.spec.AutoFStar {
-		fstar, err := s.fstarFor(j.spec.Dataset)
+		fstar, err := s.fstarFor(j.spec.Dataset, j.spec.objective())
 		if err != nil {
 			return nil, err
 		}
@@ -1203,9 +1203,14 @@ type dsEntry struct {
 	d       *dataset.Dataset
 	genErr  error
 
-	fOnce sync.Once
+	fMu    sync.Mutex
+	fstars map[string]refOpt // keyed by the objective's canonical Key
+}
+
+// refOpt memoizes one objective's reference optimum on a dataset.
+type refOpt struct {
 	fstar float64
-	fErr  error
+	err   error
 }
 
 func (en *dsEntry) dataset(spec DatasetSpec) (*dataset.Dataset, error) {
@@ -1220,15 +1225,30 @@ func (en *dsEntry) dataset(spec DatasetSpec) (*dataset.Dataset, error) {
 	return en.d, en.genErr
 }
 
-func (en *dsEntry) refOptimum(spec DatasetSpec) (float64, error) {
+func (en *dsEntry) refOptimum(spec DatasetSpec, obj async.Objective) (float64, error) {
 	d, err := en.dataset(spec)
 	if err != nil {
 		return 0, err
 	}
-	en.fOnce.Do(func() {
-		_, en.fstar, en.fErr = opt.ReferenceOptimum(d)
-	})
-	return en.fstar, en.fErr
+	loss, err := obj.Resolve()
+	if err != nil {
+		return 0, err
+	}
+	key := obj.Key()
+	en.fMu.Lock()
+	defer en.fMu.Unlock()
+	if en.fstars == nil {
+		en.fstars = map[string]refOpt{}
+	}
+	r, ok := en.fstars[key]
+	if !ok {
+		// ReferenceOptimumFor dispatches: plain least squares solves the
+		// normal equations exactly; composite/logistic objectives run the
+		// accelerated prox-gradient reference solve
+		_, r.fstar, r.err = opt.ReferenceOptimumFor(d, loss)
+		en.fstars[key] = r
+	}
+	return r.fstar, r.err
 }
 
 // entryFor returns the cache entry for a spec's key, creating it and
@@ -1267,8 +1287,8 @@ func (s *Scheduler) datasetFor(spec DatasetSpec) (*dataset.Dataset, error) {
 	return s.entryFor(spec).dataset(spec)
 }
 
-// fstarFor computes (once per cached dataset) the least-squares reference
+// fstarFor computes (once per cached dataset and objective) the reference
 // optimum used when a spec asks for AutoFStar.
-func (s *Scheduler) fstarFor(spec DatasetSpec) (float64, error) {
-	return s.entryFor(spec).refOptimum(spec)
+func (s *Scheduler) fstarFor(spec DatasetSpec, obj async.Objective) (float64, error) {
+	return s.entryFor(spec).refOptimum(spec, obj)
 }

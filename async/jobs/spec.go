@@ -138,7 +138,14 @@ type Spec struct {
 	Barrier   BarrierSpec `json:"barrier,omitzero"`
 	Step      StepSpec    `json:"step,omitzero"`
 
-	// Loss is least-squares (default) or logistic.
+	// Objective is the structured composite objective: a named loss
+	// (least-squares default, logistic) plus optional l2 (ridge) and l1
+	// (sparsity) penalties. ℓ1 objectives are accepted only for solvers
+	// with a proximal step (sgd, asgd, cd, gcg).
+	Objective async.Objective `json:"objective,omitzero"`
+
+	// Loss is the deprecated flat alias for Objective.Loss, kept for
+	// pre-objective clients; setting both to different losses is an error.
 	Loss string `json:"loss,omitempty"`
 	// SampleFrac is the mini-batch sampling rate b (default 0.3).
 	SampleFrac float64 `json:"sample_frac,omitempty"`
@@ -199,7 +206,7 @@ func (sp *Spec) normalize() error {
 	if _, err := sp.Barrier.barrier(); err != nil {
 		return err
 	}
-	if _, err := sp.loss(); err != nil {
+	if err := sp.normalizeObjective(); err != nil {
 		return err
 	}
 	if sp.SampleFrac == 0 {
@@ -235,15 +242,78 @@ func (sp *Spec) normalize() error {
 	return nil
 }
 
-func (sp Spec) loss() (opt.Loss, error) {
-	switch strings.ToLower(sp.Loss) {
-	case "", "least-squares", "ls":
-		return opt.LeastSquares{}, nil
-	case "logistic":
-		return opt.Logistic{}, nil
+// canonLossName collapses the loss-name aliases for conflict detection.
+func canonLossName(s string) string {
+	switch strings.ToLower(s) {
+	case "", "ls", "least-squares":
+		return "least-squares"
 	default:
-		return nil, fmt.Errorf("jobs: unknown loss %q (least-squares, logistic)", sp.Loss)
+		return strings.ToLower(s)
 	}
+}
+
+// noProxSolvers are the built-in solvers without a proximal step: an ℓ1
+// objective would be silently dropped, so submission rejects it up front.
+// Solvers outside this map (including custom registrations) pass; the opt
+// registry applies its own gate at run time.
+var noProxSolvers = map[string]bool{
+	"saga": true, "asaga": true, "svrg": true, "admm": true, "bcd": true,
+	"mllib-sgd": true, "asgd-remote": true, "asaga-remote": true,
+}
+
+// penaltyBlindSolvers optimize a hardwired or wire-validated plain loss and
+// would ignore any penalty term entirely.
+var penaltyBlindSolvers = map[string]bool{
+	"admm": true, "bcd": true, "asgd-remote": true, "asaga-remote": true,
+}
+
+// normalizeObjective merges the deprecated flat Loss alias into the
+// structured Objective, validates it, and checks the chosen solver can
+// actually optimize it.
+func (sp *Spec) normalizeObjective() error {
+	if sp.Loss != "" && sp.Objective.Loss != "" &&
+		canonLossName(sp.Loss) != canonLossName(sp.Objective.Loss) {
+		return fmt.Errorf("jobs: loss %q conflicts with objective.loss %q (drop the deprecated top-level loss)",
+			sp.Loss, sp.Objective.Loss)
+	}
+	if sp.Objective.Loss == "" {
+		sp.Objective.Loss = sp.Loss
+	}
+	if err := sp.Objective.Validate(); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	algo := strings.ToLower(sp.Algorithm)
+	if sp.Objective.L1 > 0 && noProxSolvers[algo] {
+		return fmt.Errorf("jobs: solver %q has no proximal step and cannot solve an ℓ1 objective (use sgd, asgd, cd or gcg)", algo)
+	}
+	if (sp.Objective.L1 > 0 || sp.Objective.L2 > 0) && penaltyBlindSolvers[algo] {
+		return fmt.Errorf("jobs: solver %q ignores penalty terms; submit the objective to sgd, asgd, cd or gcg instead", algo)
+	}
+	// admm/bcd hardwire least squares: auto_fstar against any other
+	// submitted objective would gauge the run against the wrong optimum
+	if sp.AutoFStar && (algo == "admm" || algo == "bcd") &&
+		canonLossName(sp.Objective.Loss) != "least-squares" {
+		return fmt.Errorf("jobs: auto_fstar would compute the reference optimum of objective %q, but solver %q optimizes plain least squares — drop auto_fstar or change the objective", sp.Objective.Loss, algo)
+	}
+	return nil
+}
+
+// objective returns the merged structured objective (flat Loss alias
+// folded in).
+func (sp Spec) objective() async.Objective {
+	o := sp.Objective
+	if o.Loss == "" {
+		o.Loss = sp.Loss
+	}
+	return o
+}
+
+func (sp Spec) loss() (opt.Loss, error) {
+	l, err := sp.objective().Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	return l, nil
 }
 
 // withResumeBase overlays this spec on the spec of the job being resumed:
@@ -271,6 +341,14 @@ func (sp Spec) withResumeBase(base Spec) Spec {
 	}
 	if sp.Loss != "" {
 		out.Loss = sp.Loss
+	}
+	switch {
+	case sp.Objective != (async.Objective{}):
+		// an explicit structured objective overrides wholesale
+		out.Objective = sp.Objective
+	case sp.Loss != "":
+		// flat-alias override swaps the loss but keeps inherited penalties
+		out.Objective.Loss = sp.Loss
 	}
 	if sp.SampleFrac != 0 {
 		out.SampleFrac = sp.SampleFrac
@@ -327,6 +405,7 @@ func (sp Spec) solveOptions(workers int) (async.SolveOptions, error) {
 			SnapshotEvery:   sp.SnapshotEvery,
 			CheckpointEvery: sp.CheckpointEvery,
 		},
-		FStar: sp.FStar,
+		Objective: sp.objective(),
+		FStar:     sp.FStar,
 	}, nil
 }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+	"repro/internal/rdd"
+)
+
+// proxMetrics measures the composite-objective hot paths: the O(d) lazy
+// prox settle sweep the sparse elastic-net path pays at every snapshot or
+// broadcast, and the end-to-end per-round cost of a coordinate-descent
+// block update through the full engine path (dispatch, block gradient over
+// the column view, prox step, delta broadcast).
+func proxMetrics(log func(Entry)) error {
+	const cols, nnz = 100_000, 64
+	step := opt.ProxSettleBench(cols, nnz)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+	log(Entry{Name: "prox.settle_ns", Value: float64(res.NsPerOp()), Unit: "ns/op", Better: LowerIsBetter,
+		Note: fmt.Sprintf("full settle sweep of a %dk-dim lazy elastic-net model (+%d-nnz delta)", cols/1000, nnz)})
+
+	d, err := dataset.Generate(dataset.SynthConfig{
+		Name: "bench-cd", Rows: 2000, Cols: 1000, NNZPerRow: 20, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	c, err := cluster.NewLocal(cluster.Config{NumWorkers: 2, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+	rctx := rdd.NewContext(c)
+	if _, err := rctx.Distribute(d, 4); err != nil {
+		return err
+	}
+	ac := core.New(rctx)
+	defer ac.Close()
+	run := func(rounds int) (time.Duration, error) {
+		p := opt.CDParams{BlockSize: 64}
+		p.Loss = opt.Composite{Inner: opt.LeastSquares{}, L2: 0.01, L1: 0.001}
+		p.Updates = rounds
+		p.SnapshotEvery = rounds
+		start := time.Now()
+		_, err := opt.CD(ac, d, p, 0)
+		return time.Since(start), err
+	}
+	if _, err := run(20); err != nil { // warm-up: engine spun, residuals built
+		return err
+	}
+	const rounds = 300
+	elapsed, err := run(rounds)
+	if err != nil {
+		return err
+	}
+	log(Entry{Name: "cd.update_ns", Value: float64(elapsed.Nanoseconds()) / rounds, Unit: "ns/op", Better: LowerIsBetter,
+		Note: "one CD round end to end: 64-coord block over 2000x1000 @ 20 nnz/row, 2 workers"})
+	return nil
+}

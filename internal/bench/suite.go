@@ -55,6 +55,9 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := sparseMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := proxMetrics(log); err != nil {
+		return nil, err
+	}
 	if err := checkpointMetrics(log); err != nil {
 		return nil, err
 	}

@@ -137,6 +137,15 @@ func Norm2(v Vec) float64 {
 	return math.Sqrt(s)
 }
 
+// Norm1 returns the ℓ1 norm Σ|v_i| of v.
+func Norm1(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
 // NormInf returns the max-absolute-value norm of v.
 func NormInf(v Vec) float64 {
 	var m float64

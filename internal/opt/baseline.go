@@ -32,6 +32,9 @@ func MllibSGDCtx(ctx context.Context, rctx *rdd.Context, points *rdd.RDD[rdd.Poi
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
+	if err := rejectL1(p.Loss, "mllib-sgd"); err != nil {
+		return nil, err
+	}
 	u := &vecUpdater{w: la.NewVec(d.NumCols())}
 	w, loss := u.w, p.Loss
 	return runLoop(nil, d, u, &loopSpec{

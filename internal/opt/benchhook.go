@@ -1,0 +1,30 @@
+package opt
+
+import "repro/internal/la"
+
+// ProxSettleBench builds a cols-dimension elastic-net lazy applier and
+// returns a step function that applies one nnz-coordinate sparse delta and
+// then settles the full model — the O(d) sweep a snapshot, broadcast or
+// finish pays on the sparse prox path. The bench suite times it; production
+// code has no use for it.
+func ProxSettleBench(cols, nnz int) func() {
+	p := Params{Loss: Composite{Inner: LeastSquares{}, L2: 0.01, L1: 0.001}}
+	a := newProxApplier(&p, cols)
+	w := la.NewVec(cols)
+	for j := range w {
+		w[j] = float64(j%9) - 4
+	}
+	g := &la.DeltaVec{N: cols}
+	stride := cols / nnz
+	if stride < 1 {
+		stride = 1
+	}
+	for j := 0; j < cols; j += stride {
+		g.Idx = append(g.Idx, int32(j))
+		g.Val = append(g.Val, 0.01)
+	}
+	return func() {
+		a.applySparse(w, g, 0.01, len(g.Idx))
+		a.settle(w)
+	}
+}

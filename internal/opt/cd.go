@@ -1,0 +1,365 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// Proximal (block) coordinate descent on the unified runtime — the CGD
+// family of the related work (linlearn's cgd_cycle, Lu & Chen's ℓ1-QP CG),
+// generalized to composite elastic-net objectives through the prox seam.
+// Each BSP round the driver picks a coordinate block, every worker returns
+// the exact block gradient and diagonal curvature over its rows, and the
+// driver takes one preconditioned prox step per coordinate:
+//
+//	w_j ← soft(w_j − τ_j·(g_j + nλ2·w_j), τ_j·nλ1),  τ_j = step/(h_j + nλ2)
+//
+// (sum units: g_j, h_j are row sums, n the dataset rows) — the
+// `prox.call_single` idiom, exact coordinate minimizer at step = 1 for
+// least squares.
+//
+// Incremental inner products: workers keep per-row residuals r_i = x_i·w
+// between rounds and the driver broadcasts each round's coordinate delta,
+// so a worker advances its residuals via the column index in
+// O(nnz of changed columns) and evaluates the block gradient in
+// O(nnz of block columns) — never O(n·d). A worker whose residual state is
+// missing or stale (cold start, resume, engine reset) rebuilds it from the
+// model broadcast in one O(partition nnz) pass and is incremental again
+// from the next round.
+
+// CDParams configures CD. The embedded Params supplies the objective, the
+// update budget, trace resolution and the checkpoint/preempt/resume hooks;
+// Step and SampleFrac are unused (the method is a full-pass coordinate
+// solver with its own damping), and the barrier is forced to BSP — the
+// block step needs every worker's rows.
+type CDParams struct {
+	Params
+	BlockSize int     // coordinates per block (default min(32, cols))
+	Mode      string  // block order: "cyclic" (default) or "random"
+	DampStep  float64 // damping in (0,1]; 1 = full preconditioned prox step
+	Seed      int64   // block RNG seed (random mode)
+}
+
+func (p *CDParams) defaults(cols int) error {
+	if p.Loss == nil {
+		p.Loss = LeastSquares{}
+	}
+	if p.BlockSize <= 0 {
+		p.BlockSize = 32
+	}
+	if p.BlockSize > cols {
+		p.BlockSize = cols
+	}
+	if p.DampStep == 0 {
+		p.DampStep = 1
+	}
+	if p.DampStep < 0 || p.DampStep > 1 {
+		return fmt.Errorf("opt: CD step %v outside (0,1]", p.DampStep)
+	}
+	switch p.Mode {
+	case "":
+		p.Mode = "cyclic"
+	case "cyclic", "random":
+	default:
+		return fmt.Errorf("opt: CD mode %q (cyclic, random)", p.Mode)
+	}
+	if p.Updates <= 0 {
+		return fmt.Errorf("opt: CD needs positive Updates")
+	}
+	if p.SnapshotEvery <= 0 {
+		p.SnapshotEvery = 10
+	}
+	if p.CheckpointEvery < 0 {
+		return fmt.Errorf("opt: CheckpointEvery %d must be non-negative", p.CheckpointEvery)
+	}
+	return nil
+}
+
+// CDDelta is the round-delta broadcast riding alongside the model: the
+// coordinate changes FlushRound applied at the transition Round−1 → Round.
+// Workers whose residual stamp matches (RunID, Round−1) advance
+// incrementally; anyone else rebuilds from the model broadcast. RunID fences
+// runs sharing an engine so one job's residuals can never absorb another
+// job's delta.
+type CDDelta struct {
+	RunID int64
+	Round int64
+	Delta *la.DeltaVec // nil only before the first flush
+}
+
+func init() {
+	gob.Register(CDDelta{})
+}
+
+// cdRunSeq hands every CD run a process-unique residual fence.
+var cdRunSeq atomic.Int64
+
+// cdPartState is one partition's persistent worker-side residual state.
+type cdPartState struct {
+	cv    *la.ColView // column index of the partition (data-constant)
+	r     la.Vec      // r_i = x_i·w at (runID, round)
+	runID int64
+	round int64
+}
+
+// cdState lives in the worker Env's untyped KV store: per-partition column
+// indexes and residuals. StoreClear (engine reset) naturally invalidates
+// it; the round/run stamps catch every softer staleness.
+type cdState struct {
+	parts map[int]*cdPartState
+}
+
+// cdKernel evaluates the block gradient g_J = Σ_i ℓ'(r_i, y_i)·x_iJ and
+// curvature h_J = curv·Σ_i x_iJ² over the worker's rows, maintaining the
+// per-row residuals incrementally from the delta broadcast.
+func cdKernel(lin LinearLoss, curv float64, wBr, dBr core.DynBroadcast, block []int32) core.Kernel {
+	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
+		dv, err := dBr.Value(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		dd, ok := dv.(CDDelta)
+		if !ok {
+			return nil, 0, fmt.Errorf("opt: cd delta broadcast is %T", dv)
+		}
+		st := env.StoreGetOrCreate("opt.cd.state", func() any {
+			return &cdState{parts: map[int]*cdPartState{}}
+		}).(*cdState)
+		g := la.GetVec(len(block))
+		h := la.GetVec(len(block))
+		fail := func(err error) (any, int, error) {
+			la.PutVec(g)
+			la.PutVec(h)
+			return nil, 0, err
+		}
+		rows := 0
+		for _, pi := range parts {
+			p, err := env.Partition(pi)
+			if err != nil {
+				return fail(err)
+			}
+			ps := st.parts[pi]
+			if ps == nil {
+				ps = &cdPartState{cv: la.NewColView(p.X), r: la.NewVec(p.NumRows()), runID: -1}
+				st.parts[pi] = ps
+			}
+			switch {
+			case ps.runID == dd.RunID && ps.round == dd.Round:
+				// already current (idempotent re-dispatch)
+			case ps.runID == dd.RunID && ps.round == dd.Round-1 && dd.Delta != nil:
+				// incremental: advance residuals by the changed columns only
+				ps.cv.ApplyDelta(dd.Delta, ps.r)
+				ps.round = dd.Round
+			default:
+				// cold start, resume, or missed rounds: rebuild from the
+				// model broadcast in one O(partition nnz) pass
+				wv, err := wBr.Value(env)
+				if err != nil {
+					return fail(err)
+				}
+				w, err := asVec(wv)
+				if err != nil {
+					return fail(err)
+				}
+				p.X.MatVec(w, ps.r)
+				ps.runID, ps.round = dd.RunID, dd.Round
+			}
+			for k, j := range block {
+				colRows, colVals := ps.cv.Col(j)
+				var gj, hj float64
+				for t, i := range colRows {
+					gj += lin.GradCoeff(ps.r[i], p.Y[i]) * colVals[t]
+					hj += colVals[t] * colVals[t]
+				}
+				g[k] += gj
+				h[k] += curv * hj
+			}
+			rows += p.NumRows()
+		}
+		if rows == 0 {
+			return fail(nil)
+		}
+		return BCDPartial{Block: block, G: g, H: h}, rows, nil
+	}
+}
+
+// cdUpdater owns the coordinate-descent driver state: the model, the block
+// cursor/RNG (dispatch-counted for checkpoint replay, like BCD), the
+// round's combined partials, and the last applied coordinate delta.
+type cdUpdater struct {
+	w          la.Vec
+	lin        LinearLoss
+	l2, l1     float64
+	curv       float64
+	step       float64
+	n          int // total dataset rows (sum-unit penalty scaling)
+	blockSize  int
+	cyclic     bool
+	rng        *rand.Rand
+	perm       []int32
+	runID      int64
+	dispatches int64
+
+	round int64   // applied block rounds — the delta-broadcast stamp
+	block []int32 // the in-flight round's (sorted) block
+	g, h  la.Vec
+	got   int
+	delta *la.DeltaVec // last round's coordinate changes (driver-owned)
+}
+
+func newCDUpdater(cols, rows int, p *CDParams) (*cdUpdater, error) {
+	lin, l2, l1, ok := splitProx(p.Loss)
+	if !ok {
+		return nil, fmt.Errorf("opt: cd cannot decompose objective %q into a linear core", p.Loss.Name())
+	}
+	curv := curvOf(lin)
+	if curv <= 0 {
+		return nil, fmt.Errorf("opt: cd has no curvature bound for loss %q", lin.Name())
+	}
+	u := &cdUpdater{
+		w: la.NewVec(cols), lin: lin, l2: l2, l1: l1, curv: curv,
+		step: p.DampStep, n: rows, blockSize: p.BlockSize,
+		cyclic: p.Mode != "random",
+		rng:    rand.New(rand.NewSource(p.Seed + 1)),
+		perm:   make([]int32, cols),
+		runID:  cdRunSeq.Add(1),
+		g:      la.NewVec(p.BlockSize), h: la.NewVec(p.BlockSize),
+	}
+	for j := range u.perm {
+		u.perm[j] = int32(j)
+	}
+	return u, nil
+}
+
+// pickBlock draws the next coordinate block — the cyclic cursor position or
+// the random draw both derive from the dispatch counter, so a checkpoint
+// resume replays the exact block sequence. Blocks are returned sorted (the
+// delta broadcast keeps the DeltaVec index-order contract; within-block
+// order is irrelevant to the math).
+func (u *cdUpdater) pickBlock() []int32 {
+	d := len(u.perm)
+	block := make([]int32, u.blockSize)
+	if u.cyclic {
+		pos := int(u.dispatches) * u.blockSize % d
+		for k := range block {
+			block[k] = int32((pos + k) % d)
+		}
+	} else {
+		for k := 0; k < u.blockSize; k++ {
+			swap := k + u.rng.Intn(d-k)
+			u.perm[k], u.perm[swap] = u.perm[swap], u.perm[k]
+		}
+		copy(block, u.perm[:u.blockSize])
+	}
+	u.dispatches++
+	sort.Slice(block, func(a, b int) bool { return block[a] < block[b] })
+	return block
+}
+
+// exportDelta stages the delta broadcast for the next round. The DeltaVec
+// is cloned: broadcast history may outlive the driver's round state.
+func (u *cdUpdater) exportDelta() CDDelta {
+	dd := CDDelta{RunID: u.runID, Round: u.round}
+	if u.delta != nil {
+		dd.Delta = u.delta.Clone()
+	}
+	return dd
+}
+
+func (u *cdUpdater) Model() la.Vec { return u.w }
+func (u *cdUpdater) Settle()       {}
+
+func (u *cdUpdater) Apply(payload any, _ *core.Attrs, _ float64) error {
+	part, ok := payload.(BCDPartial)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	la.Axpy(1, part.G, u.g)
+	la.Axpy(1, part.H, u.h)
+	u.got++
+	la.PutVec(part.G)
+	la.PutVec(part.H)
+	return nil
+}
+
+func (u *cdUpdater) FlushRound(_ float64) (bool, error) {
+	if u.got == 0 {
+		u.g.Zero()
+		u.h.Zero()
+		return false, nil
+	}
+	nl2 := float64(u.n) * u.l2
+	nl1 := float64(u.n) * u.l1
+	delta := &la.DeltaVec{N: len(u.w)}
+	for k, j := range u.block {
+		den := u.h[k] + nl2
+		if den <= 0 {
+			continue
+		}
+		tau := u.step / den
+		uj := SoftThreshold(u.w[j]-tau*(u.g[k]+nl2*u.w[j]), tau*nl1)
+		if d := uj - u.w[j]; d != 0 {
+			delta.Idx = append(delta.Idx, j)
+			delta.Val = append(delta.Val, d)
+			u.w[j] = uj
+		}
+	}
+	u.delta = delta
+	u.round++
+	u.g.Zero()
+	u.h.Zero()
+	u.got = 0
+	return true, nil
+}
+
+func (u *cdUpdater) Export(cp *Checkpoint) { cp.SetInt("dispatches", u.dispatches) }
+
+func (u *cdUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	// replay the recorded number of block draws so the resumed run picks up
+	// the block sequence exactly where the original stopped; the residual
+	// delta chain restarts (fresh run fence → workers rebuild once)
+	replay := cp.Int("dispatches")
+	u.dispatches = 0
+	for i := int64(0); i < replay; i++ {
+		u.pickBlock()
+	}
+	u.round = 0
+	u.delta = nil
+	u.runID = cdRunSeq.Add(1)
+	return nil
+}
+
+// CD runs proximal coordinate descent over the composite objective
+// p.Loss. fstar is the reference optimum used for error traces.
+func CD(ac *core.Context, d *dataset.Dataset, p CDParams, fstar float64) (*Result, error) {
+	if err := p.defaults(d.NumCols()); err != nil {
+		return nil, err
+	}
+	u, err := newCDUpdater(d.NumCols(), d.NumRows(), &p)
+	if err != nil {
+		return nil, err
+	}
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "CD", Name: "cd", Key: "cd.w",
+		P: &p.Params, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubPlain, Prune: true,
+		Barrier: core.BSP(), Round: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			u.block = u.pickBlock()
+			dBr := ac.ASYNCbroadcast("cd.delta", u.exportDelta())
+			ac.RDD().PruneBroadcast("cd.delta", 4*ac.RDD().Cluster().NumWorkers())
+			return ac.ASYNCreduce(sel, cdKernel(u.lin, u.curv, wBr, dBr, u.block))
+		},
+	})
+}

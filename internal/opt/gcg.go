@@ -1,0 +1,180 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// Restart-based generalized conjugate gradient for composite objectives —
+// the CG family of the related work (Lu & Chen's conjugate-gradient ℓ1
+// solver), run as bulk-synchronous full-gradient rounds on the unified
+// runtime. Each round every worker returns its exact gradient sum at the
+// broadcast model; the driver combines them into the mean smooth gradient
+// g (the λ2 term rides the Composite loss), updates a Polak–Ribière+
+// conjugate direction
+//
+//	β = max(0, g·(g − g_prev)/‖g_prev‖²),  dir ← −g + β·dir
+//
+// (reset to steepest descent whenever dir stops being a descent direction),
+// steps w ← w + α·dir, and applies the ℓ1 prox soft(·, α·λ1) — generalized
+// CG in the proximal-gradient sense: the conjugate recursion accelerates
+// the smooth part, the prox keeps the composite part exact.
+//
+// Restarts reuse the checkpoint machinery: every RestartEvery updates the
+// runtime's epoch boundary exports the driver state through a Checkpoint
+// and immediately re-imports it. The conjugate direction and previous
+// gradient are deliberately NOT exported, so the round trip is exactly a
+// CG restart — and, by construction, a mid-run preempt/resume lands on the
+// same state as a restart at that boundary, which is what makes resumed
+// GCG runs bitwise-reproducible at restart boundaries.
+
+// GCGParams configures GCG. The embedded Params supplies the objective,
+// step schedule, update budget and checkpoint/preempt/resume hooks;
+// SampleFrac is ignored (every round is a full gradient pass) and the
+// barrier is forced to BSP.
+type GCGParams struct {
+	Params
+	RestartEvery int // updates between conjugate restarts (default 20)
+}
+
+func (p *GCGParams) defaults() error {
+	if p.RestartEvery < 0 {
+		return fmt.Errorf("opt: GCG restart interval %d must be non-negative", p.RestartEvery)
+	}
+	if p.RestartEvery == 0 {
+		p.RestartEvery = 20
+	}
+	p.SampleFrac = 1 // full-gradient rounds; satisfy Params validation
+	return p.Params.defaults()
+}
+
+// gcgUpdater owns the conjugate-gradient driver state: the model, the
+// round's gradient accumulator, and the conjugate recursion (direction and
+// previous gradient).
+type gcgUpdater struct {
+	w      la.Vec
+	l1     float64
+	acc    la.Vec // round gradient sum across workers
+	rows   int
+	g      la.Vec // mean gradient scratch
+	dir    la.Vec
+	gPrev  la.Vec
+	hasDir bool
+}
+
+func newGCGUpdater(cols int, p *GCGParams) *gcgUpdater {
+	_, _, l1, _ := splitProx(p.Loss)
+	return &gcgUpdater{
+		w: la.NewVec(cols), l1: l1,
+		acc: la.NewVec(cols), g: la.NewVec(cols),
+		dir: la.NewVec(cols), gPrev: la.NewVec(cols),
+	}
+}
+
+func (u *gcgUpdater) Model() la.Vec { return u.w }
+func (u *gcgUpdater) Settle()       {}
+
+func (u *gcgUpdater) Apply(payload any, attrs *core.Attrs, _ float64) error {
+	g, ok := payload.(la.Vec)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	la.Axpy(1, g, u.acc)
+	u.rows += attrs.MiniBatch
+	la.PutVec(g)
+	return nil
+}
+
+func (u *gcgUpdater) FlushRound(alpha float64) (bool, error) {
+	rows := u.rows
+	u.rows = 0
+	if rows == 0 {
+		u.acc.Zero()
+		return false, nil
+	}
+	la.ScaleAddInto(u.g, 1/float64(rows), u.acc, 0, u.acc) // g = acc/rows
+	u.acc.Zero()
+
+	if !u.hasDir {
+		la.ScaleAddInto(u.dir, -1, u.g, 0, u.g)
+	} else {
+		// Polak–Ribière+ with automatic restart on loss of descent
+		denom := la.Dot(u.gPrev, u.gPrev)
+		beta := 0.0
+		if denom > 0 {
+			beta = (la.Dot(u.g, u.g) - la.Dot(u.g, u.gPrev)) / denom
+			if beta < 0 {
+				beta = 0
+			}
+		}
+		la.ScaleAddInto(u.dir, beta, u.dir, -1, u.g)
+		if la.Dot(u.dir, u.g) > 0 {
+			la.ScaleAddInto(u.dir, -1, u.g, 0, u.g)
+		}
+	}
+	u.gPrev.CopyFrom(u.g)
+	u.hasDir = true
+
+	la.Axpy(alpha, u.dir, u.w)
+	if u.l1 > 0 {
+		thr := alpha * u.l1
+		for j := range u.w {
+			u.w[j] = SoftThreshold(u.w[j], thr)
+		}
+	}
+	return true, nil
+}
+
+// Export carries only the model and update clock: the conjugate direction
+// is transient by design, so a checkpoint round trip is a CG restart.
+func (u *gcgUpdater) Export(*Checkpoint) {}
+
+func (u *gcgUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	u.hasDir = false
+	u.dir.Zero()
+	u.gPrev.Zero()
+	u.acc.Zero()
+	u.rows = 0
+	return nil
+}
+
+// restart performs the epoch-boundary conjugate restart by literally
+// round-tripping the driver state through the checkpoint export/import
+// path — the same state transition a preempt/resume at this boundary
+// produces.
+func (u *gcgUpdater) restart(global int64) error {
+	cp := &Checkpoint{Algorithm: "gcg", W: u.w.Clone(), Updates: global}
+	u.Export(cp)
+	return u.Import(cp)
+}
+
+// GCG runs restart-based generalized conjugate gradient over the composite
+// objective p.Loss. fstar is the reference optimum used for error traces.
+func GCG(ac *core.Context, d *dataset.Dataset, p GCGParams, fstar float64) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	u := newGCGUpdater(d.NumCols(), &p)
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "GCG", Name: "gcg", Key: "gcg.w",
+		P: &p.Params, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubEager, Prune: true,
+		Barrier: core.BSP(), Round: true,
+		EpochLen: int64(p.RestartEvery),
+		EpochBegin: func(global int64) error {
+			if global == 0 {
+				return nil // run start: nothing to restart
+			}
+			return u.restart(global)
+		},
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			return ac.ASYNCreduce(sel, FullGradKernel(p.Loss, wBr))
+		},
+	})
+}

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/la"
+)
+
+// TestGCGConvergesLS: generalized CG on plain least squares converges on
+// the shared rig.
+func TestGCGConvergesLS(t *testing.T) {
+	r := newRig(t, 2, 4, nil)
+	p := GCGParams{RestartEvery: 10}
+	p.Step = Constant{A: 0.05}
+	p.Updates = 60
+	p.SnapshotEvery = 10
+	res, err := GCG(r.ac, r.d, p, r.fstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertConverged(t, res, 4)
+}
+
+// TestGCGElasticNet: the prox step keeps the ℓ1 term exact — the composite
+// objective decreases and stays below the smooth-only start.
+func TestGCGElasticNet(t *testing.T) {
+	r := newRig(t, 1, 2, nil)
+	loss := Composite{Inner: LeastSquares{}, L2: 0.02, L1: 0.01}
+	p := GCGParams{RestartEvery: 8}
+	p.Loss = loss
+	p.Step = Constant{A: 0.05}
+	p.Updates = 40
+	p.SnapshotEvery = 10
+	res, err := GCG(r.ac, r.d, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := Objective(r.d, loss, la.NewVec(r.d.NumCols()))
+	if f := Objective(r.d, loss, res.W); f >= f0 {
+		t.Fatalf("GCG did not reduce the composite objective: %v → %v", f0, f)
+	}
+}
+
+// TestGCGRestartIsCheckpointRoundTrip pins the restart mechanism to the
+// checkpoint contract: a restart at an epoch boundary must leave the
+// updater in exactly the state a checkpoint export/import produces (model
+// preserved bitwise, conjugate direction and gradient memory dropped).
+func TestGCGRestartIsCheckpointRoundTrip(t *testing.T) {
+	u := newGCGUpdater(4, &GCGParams{})
+	copy(u.w, []float64{1, -2, 3, -4})
+	copy(u.dir, []float64{0.5, 0.5, 0.5, 0.5})
+	copy(u.gPrev, []float64{1, 1, 1, 1})
+	u.hasDir = true
+	wBefore := u.w.Clone()
+
+	if err := u.restart(7); err != nil {
+		t.Fatal(err)
+	}
+	if !la.Equal(u.w, wBefore, 0) {
+		t.Fatal("restart changed the model")
+	}
+	if u.hasDir {
+		t.Fatal("restart kept the conjugate direction")
+	}
+	for j := range u.dir {
+		if u.dir[j] != 0 || u.gPrev[j] != 0 {
+			t.Fatal("restart kept direction/gradient memory")
+		}
+	}
+}

@@ -82,7 +82,11 @@ func gradSweep(loss Loss, p *dataset.Partition, rng *rand.Rand, frac float64, w,
 // TestGradKernelSeedReproducibility). The sparse sweep consumes the RNG
 // identically, so both paths sample the same rows.
 func GradKernel(loss Loss, wBr core.DynBroadcast, frac float64) core.Kernel {
-	lin, _, linOK := splitLoss(loss)
+	// splitProx, not splitLoss: an ℓ1 term never disqualifies the sparse
+	// path — both penalties are applied driver-side (lazy L2 shrinkage,
+	// prox-at-settle ℓ1), so sparse payloads always carry the inner
+	// gradient only
+	lin, _, _, linOK := splitProx(loss)
 	return func(env *cluster.Env, parts []int, seed int64) (any, int, error) {
 		wv, err := wBr.Value(env)
 		if err != nil {

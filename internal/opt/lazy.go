@@ -9,46 +9,74 @@ import (
 
 // Driver-side lazy model updates for the sparse-delta data path.
 //
-// A sparse task payload touches O(nnz) coordinates, but two update terms
-// are dense by nature: the L2 shrinkage (1 − αλ)·w of a Ridge loss, and
-// additive dense drifts like SAGA's −α·avgHist or SVRG's −α·μ. Applying
-// either eagerly would put the driver back at O(d) per update. Instead the
-// appliers here defer the dense term per coordinate — a timestamp records
-// how far each coordinate has been settled — and settle it in O(1) when a
-// sparse update touches the coordinate, or in one O(d) sweep when the full
-// model must be externally consistent (snapshot, broadcast, finish, or a
-// dense payload arriving mid-run). The deferred algebra telescopes, so the
-// settled model is mathematically identical to the eager dense path; the
-// regression tests in sparse_test.go pin this (bitwise for unregularized
-// losses, to rounding for the deferred products and sums).
+// A sparse task payload touches O(nnz) coordinates, but three update terms
+// are dense by nature: the L2 shrinkage (1 − αλ2)·w of a ridge term, the
+// per-update soft-threshold prox of an ℓ1 term, and additive dense drifts
+// like SAGA's −α·avgHist or SVRG's −α·μ. Applying any eagerly would put the
+// driver back at O(d) per update. Instead the appliers here defer the dense
+// term per coordinate — a timestamp records how far each coordinate has
+// been settled — and settle it in O(1) when a sparse update touches the
+// coordinate, or in one O(d) sweep when the full model must be externally
+// consistent (snapshot, broadcast, finish, or a dense payload arriving
+// mid-run). The deferred algebra telescopes, so the settled model is
+// mathematically identical to the eager dense path; the regression tests in
+// sparse_test.go pin this (bitwise for unregularized losses, to rounding
+// for the deferred products and sums).
+//
+// Prox-at-settle: the ℓ1 telescoping rests on two exact scalar identities
+// (see SoftThreshold) — thresholds compose additively and commute with
+// positive scaling. With prod_k the running shrink product after update k
+// and the normalized threshold accumulator
+//
+//	l1cum_k = Σ_{i≤k} α_i·λ1 / prod_i,
+//
+// a coordinate last settled at update s catches up to update k in O(1):
+//
+//	w_j ← (prod_k/prod_s) · soft(w_j, (l1cum_k − l1cum_s)·prod_s)
+//
+// — the skipped updates' shrinkages and soft-thresholds folded into one
+// scale and one threshold. A touched coordinate settles through k−1 first,
+// then applies update k's own shrink → gradient → threshold in the eager
+// order, so the settled model equals the eager elastic-net iteration
+// exactly (up to float rounding of the reassociated products).
 
 // shrinkRenorm bounds the running shrink-factor product: when it decays
 // below this, a settle sweep renormalises it to 1 so the per-coordinate
 // ratios never lose precision or underflow.
 const shrinkRenorm = 1e-120
 
-// sgdApplier applies collected gradient payloads for the SGD family
-// (SyncSGD has its own per-round reduction; ASGD and RemoteASGD use this).
-// Dense la.Vec payloads take the eager path unchanged; sparse *la.DeltaVec
-// payloads take the O(nnz) path with lazy L2 shrinkage.
-type sgdApplier struct {
-	st     *stepper
-	lambda float64 // L2 coefficient peeled off a Ridge loss (0 = none)
+// l1cumRenorm bounds the normalized threshold accumulator: prod ≈ 1 runs
+// (tiny λ2) grow it linearly, so force a settle long before the subtraction
+// l1cum − l1last[j] loses precision.
+const l1cumRenorm = 1e18
 
-	// lazy shrinkage state: the true model is w[j]·(prod/lastProd[j]);
-	// settle() restores w[j] itself and resets both to 1.
+// proxApplier applies collected gradient payloads for the SGD family
+// (SyncSGD has its own per-round reduction; ASGD and RemoteASGD use this).
+// Dense la.Vec payloads take the eager path; sparse *la.DeltaVec payloads
+// take the O(nnz) path with lazy L2 shrinkage and prox-at-settle ℓ1
+// soft-thresholding.
+type proxApplier struct {
+	st     *stepper
+	lambda float64 // L2 coefficient peeled off the objective (0 = none)
+	l1     float64 // ℓ1 coefficient, applied as prox-at-settle (0 = none)
+
+	// lazy state: the true model is (prod/lastProd[j])·soft(w[j], pending_j)
+	// with pending_j = (l1cum − l1last[j])·lastProd[j]; settle() restores
+	// w[j] itself and resets prod/lastProd to 1 and l1cum/l1last to 0.
 	prod     float64
 	lastProd la.Vec
+	l1cum    float64
+	l1last   la.Vec // allocated only when l1 > 0
 	dirty    bool
 
 	scatter la.Vec // dense scratch for the momentum fallback
 }
 
-// newSGDApplier builds the applier for a run over cols coordinates.
-func newSGDApplier(p *Params, cols int) *sgdApplier {
-	a := &sgdApplier{st: newStepper(p.Momentum, cols), prod: 1}
-	if _, lambda, ok := splitLoss(p.Loss); ok {
-		a.lambda = lambda
+// newProxApplier builds the applier for a run over cols coordinates.
+func newProxApplier(p *Params, cols int) *proxApplier {
+	a := &proxApplier{st: newStepper(p.Momentum, cols), prod: 1}
+	if _, l2, l1, ok := splitProx(p.Loss); ok {
+		a.lambda, a.l1 = l2, l1
 	}
 	return a
 }
@@ -56,12 +84,13 @@ func newSGDApplier(p *Params, cols int) *sgdApplier {
 // apply performs one model update from a collected payload and recycles the
 // payload's pooled storage. alpha is the step size, batch the mini-batch
 // size from the result attributes.
-func (a *sgdApplier) apply(w la.Vec, payload any, alpha float64, batch int) error {
+func (a *proxApplier) apply(w la.Vec, payload any, alpha float64, batch int) error {
 	switch g := payload.(type) {
 	case la.Vec:
-		// dense partials already carry the loss's own λ·w_task terms
+		// dense partials already carry the smooth λ2·w_task terms
 		a.settle(w)
 		a.st.apply(w, g, alpha/float64(batch))
+		a.proxSweep(w, alpha)
 		la.PutVec(g)
 		return nil
 	case *la.DeltaVec:
@@ -73,7 +102,7 @@ func (a *sgdApplier) apply(w la.Vec, payload any, alpha float64, batch int) erro
 	}
 }
 
-func (a *sgdApplier) applySparse(w la.Vec, g *la.DeltaVec, alpha float64, batch int) {
+func (a *proxApplier) applySparse(w la.Vec, g *la.DeltaVec, alpha float64, batch int) {
 	ab := alpha / float64(batch)
 	if a.st.mu > 0 {
 		// momentum decays every velocity coordinate — inherently O(d), so
@@ -89,46 +118,104 @@ func (a *sgdApplier) applySparse(w la.Vec, g *la.DeltaVec, alpha float64, batch 
 			la.Axpy(float64(batch)*a.lambda, w, a.scatter)
 		}
 		a.st.apply(w, a.scatter, ab)
+		a.proxSweep(w, alpha)
 		return
 	}
-	if a.lambda <= 0 {
+	if a.lambda <= 0 && a.l1 <= 0 {
 		g.AxpyDense(-ab, w)
 		return
 	}
-	// lazy L2: w ← (1−αλ)·w − (α/b)·g, shrinking untouched coordinates
-	// only through the deferred product
-	if a.lastProd == nil {
-		a.lastProd = la.NewVec(len(w))
-		for j := range a.lastProd {
-			a.lastProd[j] = 1
-		}
-	}
+	a.ensureLazy(len(w))
 	np := a.prod * (1 - alpha*a.lambda)
-	for k, j := range g.Idx {
-		w[j] = w[j]*(np/a.lastProd[j]) - ab*g.Val[k]
-		a.lastProd[j] = np
+	if a.l1 <= 0 {
+		// lazy L2 only: w ← (1−αλ2)·w − (α/b)·g, shrinking untouched
+		// coordinates only through the deferred product
+		for k, j := range g.Idx {
+			w[j] = w[j]*(np/a.lastProd[j]) - ab*g.Val[k]
+			a.lastProd[j] = np
+		}
+	} else {
+		// prox-at-settle: catch the touched coordinate up through the
+		// previous update (scale + one folded threshold), then apply this
+		// update's shrink → gradient → soft-threshold in the eager order
+		nl1 := a.l1cum + alpha*a.l1/np
+		thr := alpha * a.l1
+		for k, j := range g.Idx {
+			// the pending threshold is expressed at the coordinate's own
+			// settle scale — threshold first, then rescale, like settle()
+			x := w[j]
+			if pend := (a.l1cum - a.l1last[j]) * a.lastProd[j]; pend > 0 {
+				x = SoftThreshold(x, pend)
+			}
+			w[j] = SoftThreshold(x*(np/a.lastProd[j])-ab*g.Val[k], thr)
+			a.lastProd[j] = np
+			a.l1last[j] = nl1
+		}
+		a.l1cum = nl1
 	}
 	a.prod = np
 	a.dirty = true
-	if math.Abs(np) < shrinkRenorm {
+	if math.Abs(np) < shrinkRenorm || a.l1cum > l1cumRenorm {
 		a.settle(w)
 	}
 }
 
-// settle flushes deferred shrinkage so w is externally consistent. Call
-// before any read of the full model: snapshot, broadcast, finish, or a
-// dense update.
-func (a *sgdApplier) settle(w la.Vec) {
+// ensureLazy sizes the per-coordinate settle timestamps on first sparse use.
+func (a *proxApplier) ensureLazy(cols int) {
+	if a.lastProd == nil {
+		a.lastProd = la.NewVec(cols)
+		for j := range a.lastProd {
+			a.lastProd[j] = 1
+		}
+	}
+	if a.l1 > 0 && a.l1last == nil {
+		a.l1last = la.NewVec(cols)
+	}
+}
+
+// proxSweep applies one eager per-update soft-threshold over the full model
+// — the dense-path counterpart of the deferred thresholds (the model must
+// already be settled).
+func (a *proxApplier) proxSweep(w la.Vec, alpha float64) {
+	if a.l1 <= 0 {
+		return
+	}
+	thr := alpha * a.l1
+	for j := range w {
+		w[j] = SoftThreshold(w[j], thr)
+	}
+}
+
+// settle flushes deferred shrinkage and pending soft-thresholds so w is
+// externally consistent. Call before any read of the full model: snapshot,
+// broadcast, finish, or a dense update.
+func (a *proxApplier) settle(w la.Vec) {
 	if !a.dirty {
 		return
 	}
-	for j := range w {
-		if a.lastProd[j] != a.prod {
-			w[j] *= a.prod / a.lastProd[j]
+	if a.l1last == nil {
+		for j := range w {
+			if a.lastProd[j] != a.prod {
+				w[j] *= a.prod / a.lastProd[j]
+			}
+			a.lastProd[j] = 1
 		}
-		a.lastProd[j] = 1
+	} else {
+		for j := range w {
+			// threshold first at the coordinate's own settle scale, then
+			// rescale — the telescoped form of the skipped updates
+			if pend := (a.l1cum - a.l1last[j]) * a.lastProd[j]; pend > 0 {
+				w[j] = SoftThreshold(w[j], pend)
+			}
+			if a.lastProd[j] != a.prod {
+				w[j] *= a.prod / a.lastProd[j]
+			}
+			a.lastProd[j] = 1
+			a.l1last[j] = 0
+		}
 	}
 	a.prod = 1
+	a.l1cum = 0
 	a.dirty = false
 }
 

@@ -50,18 +50,16 @@ type LinearLoss interface {
 }
 
 // splitLoss decomposes a loss into its linear core and an L2 coefficient:
-// LeastSquares and Logistic are their own cores with λ = 0, Ridge peels off
-// its penalty when the inner loss is linear. ok reports whether the sparse
-// task path can represent the loss at all; when it can and λ > 0, workers
-// ship inner-only gradients and the driver applies the shrinkage lazily
-// (see lazy.go).
+// LeastSquares and Logistic are their own cores with λ = 0, Ridge (and an
+// ℓ1-free Composite) peels off its penalty when the inner loss is linear.
+// ok reports whether the sparse task path can represent the loss at all;
+// when it can and λ > 0, workers ship inner-only gradients and the driver
+// applies the shrinkage lazily (see lazy.go). Objectives with an ℓ1 term
+// are never ok here — the solvers on this path have no prox step (the
+// SGD-family appliers use splitProx instead).
 func splitLoss(loss Loss) (lin LinearLoss, lambda float64, ok bool) {
-	if r, isRidge := loss.(Ridge); isRidge {
-		lin, ok = r.Inner.(LinearLoss)
-		return lin, r.Lambda, ok && r.Lambda >= 0
-	}
-	lin, ok = loss.(LinearLoss)
-	return lin, 0, ok
+	lin, l2, l1, ok := splitProx(loss)
+	return lin, l2, ok && l1 == 0
 }
 
 // LeastSquares is the paper's experimental objective (Eq. 3/4):
@@ -139,6 +137,72 @@ func (r Ridge) AddGrad(x la.SparseVec, y float64, w la.Vec, g la.Vec) {
 
 // Name implements Loss.
 func (r Ridge) Name() string { return r.Inner.Name() + "+l2" }
+
+// Composite is the elastic-net objective: a smooth inner loss plus
+// (L2/2)·‖w‖² + L1·‖w‖₁. The smooth part (inner + L2 ridge) flows through
+// AddGrad and the gradient kernels; the nonsmooth ℓ1 term is applied only
+// through the prox seam (prox.go) by the prox-capable drivers — AddGrad
+// deliberately excludes it, so solvers without a prox step must reject
+// composites with L1 > 0 (rejectL1) instead of silently solving the wrong
+// problem. Penalties are amortized per sample like Ridge's.
+type Composite struct {
+	Inner Loss
+	L2    float64
+	L1    float64
+}
+
+// Value implements Loss: the full composite value, both penalties included.
+func (c Composite) Value(x la.SparseVec, y float64, w la.Vec) float64 {
+	v := c.Inner.Value(x, y, w)
+	if c.L2 > 0 {
+		v += 0.5 * c.L2 * la.Dot(w, w)
+	}
+	if c.L1 > 0 {
+		v += c.L1 * la.Norm1(w)
+	}
+	return v
+}
+
+// AddGrad implements Loss with the SMOOTH part only (inner + L2·w); the ℓ1
+// subgradient is never accumulated — see the type doc.
+func (c Composite) AddGrad(x la.SparseVec, y float64, w la.Vec, g la.Vec) {
+	c.Inner.AddGrad(x, y, w, g)
+	if c.L2 > 0 {
+		la.Axpy(c.L2, w, g)
+	}
+}
+
+// Name implements Loss.
+func (c Composite) Name() string {
+	switch {
+	case c.L1 > 0 && c.L2 > 0:
+		return c.Inner.Name() + "+elastic-net"
+	case c.L1 > 0:
+		return c.Inner.Name() + "+l1"
+	default:
+		return c.Inner.Name() + "+l2"
+	}
+}
+
+// splitProx decomposes a composite objective for the prox-capable task
+// paths: the linear smooth core, the L2 coefficient (applied lazily as a
+// running shrink product) and the L1 coefficient (applied as prox-at-settle
+// soft-thresholds). ok reports whether the sparse task path can represent
+// the smooth core; both penalties are driver-side, so they never disqualify
+// it.
+func splitProx(loss Loss) (lin LinearLoss, l2, l1 float64, ok bool) {
+	switch l := loss.(type) {
+	case Ridge:
+		lin, ok = l.Inner.(LinearLoss)
+		return lin, l.Lambda, 0, ok && l.Lambda >= 0
+	case Composite:
+		lin, ok = l.Inner.(LinearLoss)
+		return lin, l.L2, l.L1, ok && l.L2 >= 0 && l.L1 >= 0
+	default:
+		lin, ok = loss.(LinearLoss)
+		return lin, 0, 0, ok
+	}
+}
 
 // Objective evaluates the full mean loss F(w) = (1/n) Σ ℓ_i(w) over a
 // dataset on the driver. Experiments use it post hoc on recorded snapshots

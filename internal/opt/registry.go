@@ -19,6 +19,11 @@ import (
 type SolveConfig struct {
 	Params
 
+	// Objective, when non-zero, is the structured composite-objective
+	// description; ApplyObjective resolves it into Params.Loss before the
+	// solver runs (it wins over a directly-set Loss).
+	Objective ObjectiveSpec
+
 	// FStar is the reference optimum f(w*) used for error traces; 0 makes
 	// traces report raw objective values.
 	FStar float64
@@ -26,6 +31,22 @@ type SolveConfig struct {
 	VR   VRConfig
 	ADMM ADMMConfig
 	BCD  BCDConfig
+	CD   CDConfig
+	GCG  GCGConfig
+}
+
+// ApplyObjective resolves the structured Objective into Params.Loss.
+// Idempotent; a zero Objective leaves Params.Loss untouched.
+func (c *SolveConfig) ApplyObjective() error {
+	if c.Objective.IsZero() {
+		return nil
+	}
+	loss, err := c.Objective.Resolve()
+	if err != nil {
+		return err
+	}
+	c.Params.Loss = loss
+	return nil
 }
 
 // VRConfig carries the epoch structure for variance-reduced solvers
@@ -50,6 +71,22 @@ type BCDConfig struct {
 	BlockSize int
 	Step      float64
 	Seed      int64
+}
+
+// CDConfig carries the proximal coordinate-descent knobs; zero BlockSize
+// picks min(32, cols), empty Mode is "cyclic", zero Step the full
+// preconditioned prox step.
+type CDConfig struct {
+	BlockSize int
+	Mode      string
+	Step      float64
+	Seed      int64
+}
+
+// GCGConfig carries the generalized-CG knobs; zero RestartEvery restarts
+// every 20 updates.
+type GCGConfig struct {
+	RestartEvery int
 }
 
 // SolveRequest is everything a registered solver runs against: the ASYNC
@@ -82,9 +119,19 @@ type solverFunc struct {
 
 func (s solverFunc) Name() string { return s.name }
 
+// proxCapable names the built-in solvers with a proximal step — the only
+// ones that can honour an ℓ1 term exactly.
+var proxCapable = map[string]bool{"sgd": true, "asgd": true, "cd": true, "gcg": true}
+
 func (s solverFunc) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if err := req.Config.ApplyObjective(); err != nil {
+		return nil, err
+	}
+	if l1Of(req.Config.Loss) > 0 && !proxCapable[s.name] {
+		return nil, rejectL1(req.Config.Loss, s.name)
 	}
 	if req.AC != nil {
 		release := req.AC.Bind(ctx)
@@ -151,6 +198,8 @@ func init() {
 	RegisterSolver(solverFunc{"svrg", solveSVRG})
 	RegisterSolver(solverFunc{"admm", solveADMM})
 	RegisterSolver(solverFunc{"bcd", solveBCD})
+	RegisterSolver(solverFunc{"cd", solveCD})
+	RegisterSolver(solverFunc{"gcg", solveGCG})
 	RegisterSolver(solverFunc{"mllib-sgd", solveMllibSGD})
 	RegisterSolver(solverFunc{"asgd-remote", func(_ context.Context, r SolveRequest) (*Result, error) {
 		return RemoteASGD(r.AC, r.Data, r.Config.Params, r.Config.FStar)
@@ -223,6 +272,24 @@ func solveBCD(_ context.Context, r SolveRequest) (*Result, error) {
 		bp.Step = 1
 	}
 	return AsyncBCD(r.AC, r.Data, bp, cfg.FStar)
+}
+
+func solveCD(_ context.Context, r SolveRequest) (*Result, error) {
+	cfg := r.Config
+	cp := CDParams{
+		Params:    cfg.Params,
+		BlockSize: cfg.CD.BlockSize,
+		Mode:      cfg.CD.Mode,
+		DampStep:  cfg.CD.Step,
+		Seed:      cfg.CD.Seed,
+	}
+	return CD(r.AC, r.Data, cp, cfg.FStar)
+}
+
+func solveGCG(_ context.Context, r SolveRequest) (*Result, error) {
+	cfg := r.Config
+	gp := GCGParams{Params: cfg.Params, RestartEvery: cfg.GCG.RestartEvery}
+	return GCG(r.AC, r.Data, gp, cfg.FStar)
 }
 
 func solveMllibSGD(ctx context.Context, r SolveRequest) (*Result, error) {

@@ -139,7 +139,7 @@ func RemoteASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (
 	if _, err := LossByName(lossName); err != nil {
 		return nil, fmt.Errorf("opt: RemoteASGD: %w", err)
 	}
-	u := &asgdUpdater{w: la.NewVec(d.NumCols()), ap: newSGDApplier(&p, d.NumCols())}
+	u := &asgdUpdater{w: la.NewVec(d.NumCols()), ap: newProxApplier(&p, d.NumCols())}
 	return runLoop(ac, d, u, &loopSpec{
 		Algo: "ASGD-remote", Name: "asgd-remote", Key: "sgd.w",
 		P: &p, Loss: p.Loss, FStar: fstar,

@@ -155,7 +155,9 @@ func (rt *runState) export(global int64) *Checkpoint {
 		W:         rt.u.Model().Clone(),
 		Updates:   global,
 	}
-	if rt.spec.RoundBudget {
+	if rt.spec.Round || rt.spec.RoundBudget {
+		// round-mode solvers feed the step schedule from the round counter,
+		// so a resume must continue it even when the budget counts updates
 		cp.SetInt("round", rt.round)
 	}
 	if rt.ac != nil {

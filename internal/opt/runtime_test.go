@@ -193,6 +193,35 @@ func TestResumeEquivalenceBCD(t *testing.T) {
 	})
 }
 
+// TestResumeEquivalenceCD: the checkpointed dispatch count replays the
+// block sequence (cyclic position or seeded permutation) exactly; the
+// resume rebuilds per-partition residuals from the restored model, so the
+// trajectories agree to rounding rather than bitwise.
+func TestResumeEquivalenceCD(t *testing.T) {
+	resumePair(t, 6, 1e-9, denseRig, func(r *rig, seg segCfg) (*Result, error) {
+		p := CDParams{BlockSize: 4, Mode: "random", Seed: 5}
+		p.Loss = Composite{Inner: LeastSquares{}, L2: 0.05, L1: 0.01}
+		p.Updates = 12
+		p.SnapshotEvery = 4
+		seg.apply(&p.Params)
+		return CD(r.ac, r.d, p, 0)
+	})
+}
+
+// TestResumeEquivalenceGCG: with the preemption point on a restart
+// boundary (k = 6, RestartEvery = 3) both runs drop the conjugate
+// direction there, so the resumed trajectory is bitwise identical.
+func TestResumeEquivalenceGCG(t *testing.T) {
+	resumePair(t, 6, 0, denseRig, func(r *rig, seg segCfg) (*Result, error) {
+		p := GCGParams{RestartEvery: 3}
+		p.Step = Constant{A: 0.02}
+		p.Updates = 12
+		p.SnapshotEvery = 4
+		seg.apply(&p.Params)
+		return GCG(r.ac, r.d, p, 0)
+	})
+}
+
 func TestResumeEquivalenceMllibSGD(t *testing.T) {
 	resumePair(t, 6, 0, denseRig, func(r *rig, seg segCfg) (*Result, error) {
 		p := asgdParams()

@@ -212,6 +212,9 @@ func SAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
+	if err := rejectL1(p.Loss, "saga"); err != nil {
+		return nil, err
+	}
 	st := newSagaState(d.NumCols(), d.NumRows())
 	if err := st.init(p); err != nil {
 		return nil, err
@@ -246,6 +249,9 @@ func (u sagaStreamUpdater) Apply(payload any, attrs *core.Attrs, alpha float64) 
 // exists (barrier defaults to ASP).
 func ASAGA(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Result, error) {
 	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	if err := rejectL1(p.Loss, "asaga"); err != nil {
 		return nil, err
 	}
 	st := newSagaState(d.NumCols(), d.NumRows())

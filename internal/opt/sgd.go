@@ -154,6 +154,7 @@ type syncSGDUpdater struct {
 	w      la.Vec
 	st     *stepper
 	lambda float64
+	l1     float64 // ℓ1 coefficient: eager full-sweep soft-threshold per round
 	acc    *roundAccum
 	batch  int
 	sparse int // samples behind sparse partials (their λ·w is driver-side)
@@ -202,6 +203,14 @@ func (u *syncSGDUpdater) FlushRound(alpha float64) (bool, error) {
 		// support — O(round nnz) on the driver
 		s.AxpyDense(-ab, u.w)
 	}
+	if u.l1 > 0 {
+		// under BSP a round is one update, so the prox applies eagerly to
+		// every coordinate — the O(d) sweep rides the round barrier
+		thr := alpha * u.l1
+		for j := range u.w {
+			u.w[j] = SoftThreshold(u.w[j], thr)
+		}
+	}
 	u.acc.Reset()
 	return true, nil
 }
@@ -228,11 +237,12 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 	if err != nil {
 		return nil, err
 	}
-	_, lambda, _ := splitLoss(p.Loss)
+	_, lambda, l1, _ := splitProx(p.Loss)
 	u := &syncSGDUpdater{
 		w:      w,
 		st:     newStepper(p.Momentum, d.NumCols()),
 		lambda: lambda,
+		l1:     l1,
 		acc:    newRoundAccum(d.NumCols()),
 	}
 	return runLoop(ac, d, u, &loopSpec{
@@ -250,7 +260,7 @@ func SyncSGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Re
 // through the shared SGD applier (dense eager, sparse lazy-L2).
 type asgdUpdater struct {
 	w  la.Vec
-	ap *sgdApplier
+	ap *proxApplier
 }
 
 func (u *asgdUpdater) Model() la.Vec { return u.w }
@@ -281,7 +291,7 @@ func ASGD(ac *core.Context, d *dataset.Dataset, p Params, fstar float64) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	u := &asgdUpdater{w: w, ap: newSGDApplier(&p, d.NumCols())}
+	u := &asgdUpdater{w: w, ap: newProxApplier(&p, d.NumCols())}
 	return runLoop(ac, d, u, &loopSpec{
 		Algo: "ASGD", Name: "asgd", Key: "sgd.w",
 		P: &p, Loss: p.Loss, FStar: fstar,

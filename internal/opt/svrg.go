@@ -133,6 +133,9 @@ func EpochVR(ac *core.Context, d *dataset.Dataset, p VRParams, fstar float64) (*
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
+	if err := rejectL1(p.Loss, "svrg"); err != nil {
+		return nil, err
+	}
 	if p.Epochs <= 0 || p.UpdatesPerEpoch <= 0 {
 		return nil, fmt.Errorf("opt: EpochVR needs positive Epochs and UpdatesPerEpoch")
 	}

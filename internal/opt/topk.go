@@ -136,6 +136,9 @@ func SparseASGD(ac *core.Context, d *dataset.Dataset, p Params, topKFrac float64
 	if err := p.defaults(); err != nil {
 		return nil, 0, err
 	}
+	if err := rejectL1(p.Loss, "sparse-asgd"); err != nil {
+		return nil, 0, err
+	}
 	if topKFrac <= 0 || topKFrac > 1 {
 		return nil, 0, fmt.Errorf("opt: top-k fraction %v outside (0,1]", topKFrac)
 	}
