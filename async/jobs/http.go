@@ -14,6 +14,9 @@ import (
 	"repro/internal/opt"
 )
 
+// retryAfterSeconds is the Retry-After hint on 503 backpressure responses.
+const retryAfterSeconds = 1
+
 // NewHandler exposes a scheduler as a JSON/HTTP API:
 //
 //	POST   /v1/jobs                 submit a Spec, returns {"id": ...} (202);
@@ -45,7 +48,13 @@ func NewHandler(s *Scheduler) http.Handler {
 		id, err := s.Submit(spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			httpError(w, http.StatusTooManyRequests, err)
+			// backpressure is transient: 503 + Retry-After tells well-behaved
+			// clients to back off and come back, not that the request was bad
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrStoreUnavailable):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err)
 		case err != nil:
@@ -94,18 +103,21 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, job)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.Cancel(ID(r.PathValue("id"))); err != nil {
+		switch err := s.Cancel(ID(r.PathValue("id"))); {
+		case errors.Is(err, ErrRemoteJob):
+			httpError(w, http.StatusConflict, err)
+		case err != nil:
 			httpError(w, http.StatusNotFound, err)
-			return
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]any{"canceled": r.PathValue("id")})
 		}
-		writeJSON(w, http.StatusAccepted, map[string]any{"canceled": r.PathValue("id")})
 	})
 	mux.HandleFunc("POST /v1/jobs/{id}/preempt", func(w http.ResponseWriter, r *http.Request) {
 		id := ID(r.PathValue("id"))
 		switch err := s.Preempt(id); {
 		case errors.Is(err, ErrUnknownJob):
 			httpError(w, http.StatusNotFound, err)
-		case errors.Is(err, ErrNotRunning):
+		case errors.Is(err, ErrNotRunning), errors.Is(err, ErrRemoteJob):
 			httpError(w, http.StatusConflict, err)
 		case err != nil:
 			httpError(w, http.StatusInternalServerError, err)
@@ -180,8 +192,14 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":       "ok",
+		status := "ok"
+		if st.Degraded {
+			// the process is alive but the store is erroring: running jobs
+			// keep serving while new submissions bounce
+			status = "degraded"
+		}
+		payload := map[string]any{
+			"status":       status,
 			"engines_live": st.EnginesLive,
 			"engines_max":  st.EnginesMax,
 			"queued":       st.Queued,
@@ -189,7 +207,15 @@ func NewHandler(s *Scheduler) http.Handler {
 			"queue_depth":  st.QueueDepth,
 			"algorithms":   async.Solvers(),
 			"datasets":     dataset.CatalogNames(),
-		})
+		}
+		if st.Replica != "" {
+			payload["replica"] = st.Replica
+			payload["leases_held"] = st.LeasesHeld
+			payload["remote_jobs"] = st.RemoteJobs
+			payload["fenced"] = st.Fenced
+			payload["adopted"] = st.Adopted
+		}
+		writeJSON(w, http.StatusOK, payload)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())

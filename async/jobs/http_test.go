@@ -210,7 +210,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
-// TestHTTPBackpressure maps queue saturation to 429.
+// TestHTTPBackpressure maps queue saturation to 503 + Retry-After.
 func TestHTTPBackpressure(t *testing.T) {
 	s := newScheduler(t, jobs.Config{Engines: 1, QueueDepth: 1})
 	srv := httptest.NewServer(jobs.NewHandler(s))
@@ -224,8 +224,11 @@ func TestHTTPBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated submit status %d, want 429", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated submit status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("saturated submit missing Retry-After header")
 	}
 	release(t, gateHTTP)
 	expectStart(t, gateHTTP, 702)

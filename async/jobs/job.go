@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/async"
+	"repro/async/jobs/store"
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
@@ -107,6 +108,15 @@ type Job struct {
 	// job's run — update clock, staleness distribution, per-worker waits —
 	// sampled at each progress event and at run unwind.
 	RunStats *async.RunStats `json:"run_stats,omitempty"`
+	// Retries counts scheduler-side re-queues after transient run failures
+	// (Spec.MaxRetries).
+	Retries int `json:"retries,omitempty"`
+	// Remote marks a job whose lease another replica currently holds: it
+	// runs there, this replica only mirrors its durable records.
+	Remote bool `json:"remote,omitempty"`
+	// Owner names the replica holding the job's lease ("" when unleased or
+	// in single-node mode).
+	Owner string `json:"owner,omitempty"`
 }
 
 // job is the scheduler-internal record; all fields are guarded by the
@@ -158,6 +168,19 @@ type job struct {
 	cpUpdates int64
 	cpSpilled bool
 
+	// replica-mode state: lease is the fencing token this replica holds
+	// while the job runs here; leaseLost flags a heartbeat self-fence (the
+	// run's outcome must be abandoned, not finalized); remote marks a job
+	// another replica owns; orphanedAt stamps the lease-expiry instant the
+	// failover latency is measured from; retries counts Spec.MaxRetries
+	// re-queues after transient run failures.
+	lease       store.Lease
+	leaseLost   bool
+	remote      bool
+	remoteOwner string
+	orphanedAt  time.Time
+	retries     int
+
 	// trace is the job's run-scoped telemetry stream (scheduler lifecycle
 	// events plus the driver runtime's, correlated by job ID). Immutable
 	// pointer after Submit/rebuild; the Trace itself is internally locked.
@@ -187,6 +210,13 @@ func (j *job) snapshot() Job {
 		HasCheckpoint: j.cp != nil,
 		ResumedFrom:   j.resumedFrom,
 		RunStats:      j.runStats,
+		Retries:       j.retries,
+		Remote:        j.remote,
+	}
+	if j.lease.Epoch != 0 {
+		s.Owner = j.lease.Owner
+	} else if j.remote {
+		s.Owner = j.remoteOwner
 	}
 	switch {
 	case j.state == StateQueued || j.state == StatePreempted:

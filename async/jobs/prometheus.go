@@ -125,6 +125,35 @@ func (s *Scheduler) registerMetrics() {
 		snap(func(st *Stats) float64 { return st.RecoveryMS / 1000.0 }))
 	r.GaugeFunc("asyncd_recovered_jobs", "Jobs rebuilt by the boot-time replay.",
 		snap(func(st *Stats) float64 { return float64(st.RecoveredJobs) }))
+	r.GaugeFunc("asyncd_degraded", "1 while the store is erroring and submissions are rejected.",
+		snap(func(st *Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		}))
+	r.CounterFunc("asyncd_jobs_retried_total", "Transient run failures re-queued under Spec.MaxRetries.",
+		snap(func(st *Stats) float64 { return float64(st.Retries) }))
+
+	if s.cfg.ReplicaID == "" {
+		return
+	}
+	r.GaugeFunc("asyncd_leases_held", "Job leases this replica currently holds.",
+		snap(func(st *Stats) float64 { return float64(st.LeasesHeld) }))
+	r.GaugeFunc("asyncd_remote_jobs", "Non-terminal jobs owned by other replicas.",
+		snap(func(st *Stats) float64 { return float64(st.RemoteJobs) }))
+	r.CounterFunc("asyncd_fenced_total", "Runs abandoned after losing their lease (stale epoch).",
+		snap(func(st *Stats) float64 { return float64(st.Fenced) }))
+	r.CounterFunc("asyncd_jobs_adopted_total", "Orphaned jobs adopted after their owner's lease expired.",
+		snap(func(st *Stats) float64 { return float64(st.Adopted) }))
+	r.CounterFunc("asyncd_lease_claims_total", "Lease claims acknowledged by the shared store.",
+		stor(func(sm *storeMetricsView) float64 { return float64(sm.leaseClaims) }))
+	r.CounterFunc("asyncd_lease_renewals_total", "Lease renewals acknowledged by the shared store.",
+		stor(func(sm *storeMetricsView) float64 { return float64(sm.leaseRenewals) }))
+	r.CounterFunc("asyncd_fenced_appends_total", "Appends the shared store rejected with a stale fencing token.",
+		stor(func(sm *storeMetricsView) float64 { return float64(sm.fencedAppends) }))
+	s.mFailover = r.Histogram("asyncd_failover_seconds",
+		"Latency from an orphan's lease expiry to its adoption claim.", telemetry.LatencyBuckets())
 }
 
 // WritePrometheus renders the scheduler's serving and durability counters in
@@ -139,13 +168,16 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	if s.cfg.Store != nil {
 		m := s.cfg.Store.Metrics()
 		sm = &storeMetricsView{
-			appends:     m.Appends,
-			fsyncs:      m.Fsyncs,
-			fsyncTotal:  m.FsyncTotal.Seconds(),
-			sizeBytes:   m.SizeBytes,
-			compactions: m.Compactions,
-			spills:      m.CheckpointSpills,
-			replayed:    m.ReplayedRecords,
+			appends:       m.Appends,
+			fsyncs:        m.Fsyncs,
+			fsyncTotal:    m.FsyncTotal.Seconds(),
+			sizeBytes:     m.SizeBytes,
+			compactions:   m.Compactions,
+			spills:        m.CheckpointSpills,
+			replayed:      m.ReplayedRecords,
+			leaseClaims:   m.LeaseClaims,
+			leaseRenewals: m.LeaseRenewals,
+			fencedAppends: m.FencedAppends,
 		}
 	}
 	s.mu.Unlock()
@@ -160,11 +192,14 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 
 // storeMetricsView carries the store counters out of the locked section.
 type storeMetricsView struct {
-	appends     int64
-	fsyncs      int64
-	fsyncTotal  float64
-	sizeBytes   int64
-	compactions int64
-	spills      int64
-	replayed    int64
+	appends       int64
+	fsyncs        int64
+	fsyncTotal    float64
+	sizeBytes     int64
+	compactions   int64
+	spills        int64
+	replayed      int64
+	leaseClaims   int64
+	leaseRenewals int64
+	fencedAppends int64
 }

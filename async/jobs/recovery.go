@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -41,7 +42,19 @@ func (s *Scheduler) recover() error {
 	start := time.Now()
 	byID := map[ID]*replayJob{}
 	var order []*replayJob
-	err := s.cfg.Store.Replay(func(rec store.Record) error {
+	replay := s.cfg.Store.Replay
+	if s.leaseStore != nil {
+		// replica mode replays through the watermarked tail reader so the
+		// tail-scan loop starts exactly where recovery stopped
+		replay = func(fn func(store.Record) error) error {
+			wm, rerr := s.leaseStore.ReplaySince(store.Watermark{}, fn)
+			if rerr == nil {
+				s.wm = wm
+			}
+			return rerr
+		}
+	}
+	err := replay(func(rec store.Record) error {
 		id := ID(rec.Job)
 		rj := byID[id]
 		if rj == nil {
@@ -134,10 +147,40 @@ func (s *Scheduler) recover() error {
 		s.terminal = s.terminal[1:]
 	}
 	s.recoveredN = len(s.jobs)
-	// recovery ends with a compaction: the rebuilt state is the live set,
-	// and the old log (torn tail included) is rewritten to exactly it
-	if err := s.compactLocked(); err != nil {
-		return fmt.Errorf("jobs: post-recovery compaction: %w", err)
+	// replica mode: jobs whose live lease another replica holds are
+	// mirrors, not local work — pull them back out of the queue. Expired
+	// foreign leases mark adoption candidates (the failover latency
+	// anchors to the expiry instant). Our own pre-crash leases need no
+	// handling: the jobs re-enqueued above and re-claim through the CAS,
+	// which bumps the epoch past the stale one.
+	if s.leaseStore != nil {
+		if leases, lerr := s.leaseStore.Leases(); lerr == nil {
+			now := time.Now()
+			for _, l := range leases {
+				j, ok := s.jobs[ID(l.Job)]
+				if !ok || j.state.Terminal() || l.Owner == s.cfg.ReplicaID {
+					continue
+				}
+				if l.Live(now) {
+					s.removeFromQueueLocked(j)
+					j.remote, j.remoteOwner = true, l.Owner
+				} else if j.orphanedAt.IsZero() {
+					j.orphanedAt = time.Unix(0, l.ExpiresAt)
+				}
+			}
+		} else {
+			s.storeErrs++
+		}
+	}
+	// recovery ends with a compaction — in single-owner mode only: the
+	// rebuilt state is the live set and the old log (torn tail included)
+	// is rewritten to exactly it. A replica must never rewrite the shared
+	// log around its peers' live jobs; Shared self-compacts from the full
+	// log instead.
+	if s.leaseStore == nil {
+		if err := s.compactLocked(); err != nil {
+			return fmt.Errorf("jobs: post-recovery compaction: %w", err)
+		}
 	}
 	s.recoveryDur = time.Since(start)
 	s.dispatchLocked()
@@ -307,9 +350,9 @@ func (s *Scheduler) spillLocked(j *job, cp *opt.Checkpoint, typ store.Type) {
 		return
 	}
 	j.cpSeq, j.cpUpdates, j.cpSpilled = seq, cp.Updates, true
-	s.logAppendLocked(&store.Record{
+	s.logAppendLocked(s.stampOwner(j, &store.Record{
 		Type: typ, Job: string(j.id), Updates: cp.Updates, DispatchSeq: seq,
-	})
+	}))
 }
 
 // logAppendLocked appends a lifecycle record, best effort: serving does not
@@ -326,6 +369,19 @@ func (s *Scheduler) logAppendLocked(rec *store.Record) {
 	}
 	if err := s.cfg.Store.Append(rec); err != nil {
 		s.storeErrs++
+		if errors.Is(err, store.ErrFenced) {
+			// a stale fencing token, not a sick disk: the job's adopter owns
+			// its history now, and serving is not degraded
+			s.fencedN++
+		} else {
+			s.degraded = true
+		}
+		return
+	}
+	s.degraded = false
+	if s.leaseStore != nil {
+		// a replica never rewrites the shared log around its peers' live
+		// jobs; Shared self-compacts past its own threshold instead
 		return
 	}
 	if s.cfg.Store.Metrics().AppendsSinceCompact >= int64(s.cfg.CompactEvery) {

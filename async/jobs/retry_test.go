@@ -1,0 +1,118 @@
+package jobs_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/async"
+	"repro/async/jobs"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/metrics"
+)
+
+// flakySolver fails its first failN runs with a transient error, then
+// succeeds — the shape of an OOM'd worker or a dropped connection that a
+// retry from the last checkpoint absorbs.
+type flakySolver struct {
+	name     string
+	failN    int32
+	attempts atomic.Int32
+}
+
+func (f *flakySolver) Name() string { return f.name }
+
+func (f *flakySolver) Solve(ctx context.Context, e *async.Engine, d *dataset.Dataset, opts async.SolveOptions) (*async.Result, error) {
+	if f.attempts.Add(1) <= f.failN {
+		return nil, errors.New("transient engine failure")
+	}
+	return &async.Result{
+		Trace: &metrics.Trace{
+			Algorithm: f.name,
+			Dataset:   d.Name,
+			Points:    []metrics.TracePoint{{Updates: int64(opts.Params.Updates)}},
+		},
+		W: la.NewVec(d.NumCols()),
+	}, nil
+}
+
+var (
+	flakyOnce   = &flakySolver{name: "flaky-once", failN: 1}
+	flakyAlways = &flakySolver{name: "flaky-always", failN: 1 << 30}
+)
+
+func init() {
+	for _, s := range []async.Solver{flakyOnce, flakyAlways} {
+		if err := async.Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func flakySpec(name string, tag int) jobs.Spec {
+	return jobs.Spec{
+		Algorithm: name,
+		Dataset:   jobs.DatasetSpec{Name: "rcv1-like"},
+		Updates:   tag,
+	}
+}
+
+// TestRetryTransientFailure: the default retry budget (MaxRetries 1)
+// absorbs one transient run failure — the job re-queues, re-runs, and
+// finishes Done with the retry counted in Stats and the job snapshot.
+func TestRetryTransientFailure(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	id, err := s.Submit(flakySpec("flaky-once", 111))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitState(t, s, id, jobs.StateDone)
+	if job.Retries != 1 {
+		t.Fatalf("job snapshot retries %d, want 1", job.Retries)
+	}
+	if st := s.Stats(); st.Retries != 1 || st.Failed != 0 {
+		t.Fatalf("stats retries %d failed %d, want 1 and 0", st.Retries, st.Failed)
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently failing run fails for real once
+// the budget is spent — MaxRetries 2 means three attempts total.
+func TestRetryBudgetExhausted(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	before := flakyAlways.attempts.Load()
+	spec := flakySpec("flaky-always", 112)
+	spec.MaxRetries = 2
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitState(t, s, id, jobs.StateFailed)
+	if job.Retries != 2 {
+		t.Fatalf("job snapshot retries %d, want 2", job.Retries)
+	}
+	if got := flakyAlways.attempts.Load() - before; got != 3 {
+		t.Fatalf("solver ran %d times, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryDisabled: MaxRetries -1 turns retries off — the first transient
+// failure is terminal.
+func TestRetryDisabled(t *testing.T) {
+	s := newScheduler(t, jobs.Config{Engines: 1})
+	before := flakyAlways.attempts.Load()
+	spec := flakySpec("flaky-always", 113)
+	spec.MaxRetries = -1
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitState(t, s, id, jobs.StateFailed)
+	if job.Retries != 0 {
+		t.Fatalf("job snapshot retries %d, want 0", job.Retries)
+	}
+	if got := flakyAlways.attempts.Load() - before; got != 1 {
+		t.Fatalf("solver ran %d times, want exactly 1", got)
+	}
+}

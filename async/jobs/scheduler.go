@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,14 @@ var (
 	// ErrNoCheckpoint is returned when a job holds no retrievable
 	// checkpoint (no cadence configured and never preempted).
 	ErrNoCheckpoint = errors.New("jobs: job has no checkpoint")
+	// ErrStoreUnavailable rejects new submissions while the durable store
+	// errors out: running jobs keep serving (graceful degradation), but
+	// acknowledging a job the log cannot record would break
+	// append-before-ack.
+	ErrStoreUnavailable = errors.New("jobs: store unavailable")
+	// ErrRemoteJob is returned for mutations of a job whose lease another
+	// replica holds — cancel or preempt it on its owning replica.
+	ErrRemoteJob = errors.New("jobs: job is owned by another replica")
 )
 
 // eventBuffer is the per-subscriber channel slack beyond history replay;
@@ -85,6 +94,24 @@ type Config struct {
 	// (Spec.SLOMillis) may preempt a running job with more slack, even at
 	// equal priority (default 5s).
 	SLOSlack time.Duration
+	// ReplicaID enables multi-replica serving: the scheduler claims jobs
+	// through the store's lease CAS before dispatching (the Store must
+	// implement store.LeaseStore), renews held leases on a heartbeat,
+	// fences every owned append with its lease epoch, mirrors the other
+	// replicas' records by tailing the shared log, and adopts orphaned
+	// jobs whose lease expired. Empty (the default) keeps single-owner
+	// mode. Job IDs become "job-<replica>-%06d" so two replicas never
+	// mint the same ID.
+	ReplicaID string
+	// LeaseTTL is the job-lease duration in replica mode (default 10s). A
+	// replica that cannot renew within it loses the job to failover.
+	LeaseTTL time.Duration
+	// RenewEvery is the lease-renewal heartbeat period (default
+	// LeaseTTL/3).
+	RenewEvery time.Duration
+	// AdoptScanEvery is the shared-log tail and orphan-scan period
+	// (default LeaseTTL/2). It bounds failover detection latency.
+	AdoptScanEvery time.Duration
 }
 
 func (c *Config) defaults() {
@@ -110,6 +137,17 @@ func (c *Config) defaults() {
 	if c.SLOSlack <= 0 {
 		c.SLOSlack = 5 * time.Second
 	}
+	if c.ReplicaID != "" {
+		if c.LeaseTTL <= 0 {
+			c.LeaseTTL = 10 * time.Second
+		}
+		if c.RenewEvery <= 0 {
+			c.RenewEvery = c.LeaseTTL / 3
+		}
+		if c.AdoptScanEvery <= 0 {
+			c.AdoptScanEvery = c.LeaseTTL / 2
+		}
+	}
 }
 
 // Stats is a snapshot of the scheduler's serving counters.
@@ -134,6 +172,18 @@ type Stats struct {
 	RecoveredJobs int     `json:"recovered_jobs,omitempty"`
 	RecoveryMS    float64 `json:"recovery_ms,omitempty"`
 	StoreErrors   int64   `json:"store_errors,omitempty"`
+	// Degraded reports that the last store append failed: new submissions
+	// are being rejected with ErrStoreUnavailable while running jobs keep
+	// serving. Clears on the next successful append.
+	Degraded bool `json:"degraded,omitempty"`
+	// Replica-mode counters (zero in single-owner mode).
+	Replica    string  `json:"replica,omitempty"`
+	LeasesHeld int     `json:"leases_held,omitempty"`
+	RemoteJobs int     `json:"remote_jobs,omitempty"`
+	Fenced     int64   `json:"fenced,omitempty"`
+	Adopted    int64   `json:"adopted,omitempty"`
+	Retries    int64   `json:"retries,omitempty"`
+	FailoverMS float64 `json:"failover_ms,omitempty"` // mean orphan-expiry → re-claim latency
 	// Tenants breaks admission and occupancy down per tenant when any job
 	// named one ("" stays aggregate-only).
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
@@ -185,10 +235,23 @@ type Scheduler struct {
 	storeErrs   int64
 	recoveredN  int
 	recoveryDur time.Duration
+	degraded    bool
 	startedAt   time.Time
 	tenantSub   map[string]int64
 	tenantRej   map[string]int64
 	tenantDone  map[string]int64
+
+	// replica mode (nil/zero in single-owner mode): the store's lease
+	// surface, the shared-log tail position, the loop stop signal, and the
+	// fencing/failover counters.
+	leaseStore    store.LeaseStore
+	wm            store.Watermark
+	replicaStop   chan struct{}
+	fencedN       int64
+	adoptedN      int64
+	retriesN      int64
+	failoverTotal time.Duration
+	failoverN     int64
 
 	dsMu    sync.Mutex
 	dsCache map[string]*dsEntry
@@ -200,6 +263,7 @@ type Scheduler struct {
 	reg          *telemetry.Registry
 	mQWaitPrio   telemetry.HistogramVec
 	mQWaitTenant telemetry.HistogramVec
+	mFailover    *telemetry.Histogram
 	scrapeMu     sync.Mutex
 	scrape       Stats
 	scrapeUptime float64
@@ -221,11 +285,21 @@ func New(cfg Config) (*Scheduler, error) {
 		tenantRej:  map[string]int64{},
 		tenantDone: map[string]int64{},
 	}
+	if cfg.ReplicaID != "" {
+		ls, ok := cfg.Store.(store.LeaseStore)
+		if !ok {
+			return nil, fmt.Errorf("jobs: replica mode needs a lease-capable store (store.LeaseStore), got %T", cfg.Store)
+		}
+		s.leaseStore = ls
+	}
 	s.registerMetrics()
 	if cfg.Store != nil {
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
+	}
+	if s.leaseStore != nil {
+		s.startReplicaLoops()
 	}
 	return s, nil
 }
@@ -286,6 +360,11 @@ func (s *Scheduler) Submit(spec Spec) (ID, error) {
 	}
 	now := time.Now()
 	id := ID(fmt.Sprintf("job-%06d", s.seq+1))
+	if s.cfg.ReplicaID != "" {
+		// replica-qualified IDs: two replicas minting concurrently must
+		// never collide
+		id = ID(fmt.Sprintf("job-%s-%06d", s.cfg.ReplicaID, s.seq+1))
+	}
 	if s.cfg.Store != nil {
 		// append-before-ack: the submitted record must be durable before the
 		// caller learns the ID; a failed append fails the Submit
@@ -299,8 +378,10 @@ func (s *Scheduler) Submit(spec Spec) (ID, error) {
 		}
 		if err := s.cfg.Store.Append(rec); err != nil {
 			s.storeErrs++
-			return "", fmt.Errorf("jobs: durable submit: %w", err)
+			s.degraded = true
+			return "", fmt.Errorf("%w: durable submit: %v", ErrStoreUnavailable, err)
 		}
+		s.degraded = false
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
@@ -358,6 +439,9 @@ func (s *Scheduler) Preempt(id ID) error {
 	j, ok := s.jobs[id]
 	if !ok {
 		return ErrUnknownJob
+	}
+	if j.remote {
+		return fmt.Errorf("%w: %s runs on %s", ErrRemoteJob, id, j.remoteOwner)
 	}
 	if j.state != StateRunning {
 		return fmt.Errorf("%w: %s is %s", ErrNotRunning, id, j.state)
@@ -484,15 +568,18 @@ func (s *Scheduler) ListPage(q ListQuery) (page []Job, next ID) {
 }
 
 // cursorSeq resolves a cursor ID to its submission ordinal: the held job's
-// seq when retained, else the ordinal parsed from the "job-%06d" shape (so
-// pagination keeps working across a cursor's retention eviction).
+// seq when retained, else the ordinal parsed from the ID shape (so
+// pagination keeps working across a cursor's retention eviction). Both
+// "job-%06d" and the replica-qualified "job-<replica>-%06d" end with the
+// ordinal after the last dash.
 func cursorSeq(jobs map[ID]*job, id ID) int64 {
 	if j, ok := jobs[id]; ok {
 		return j.seq
 	}
-	var n int64
-	if _, err := fmt.Sscanf(string(id), "job-%d", &n); err == nil {
-		return n
+	if i := strings.LastIndexByte(string(id), '-'); i >= 0 {
+		if n, err := strconv.ParseInt(string(id)[i+1:], 10, 64); err == nil {
+			return n
+		}
 	}
 	return -1
 }
@@ -529,14 +616,12 @@ func (s *Scheduler) Cancel(id ID) error {
 	if !ok {
 		return ErrUnknownJob
 	}
+	if j.remote {
+		return fmt.Errorf("%w: %s runs on %s", ErrRemoteJob, id, j.remoteOwner)
+	}
 	switch j.state {
 	case StateQueued, StatePreempted:
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
+		s.removeFromQueueLocked(j)
 		j.cancel()
 		s.finalizeLocked(j, nil, context.Canceled)
 	case StateRunning:
@@ -544,6 +629,16 @@ func (s *Scheduler) Cancel(id ID) error {
 		j.cancel()
 	}
 	return nil
+}
+
+// removeFromQueueLocked takes the job out of the waiting queue if present.
+func (s *Scheduler) removeFromQueueLocked(j *job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
 }
 
 // Subscribe returns a channel of the job's events, starting with a replay
@@ -611,7 +706,25 @@ func (s *Scheduler) Stats() Stats {
 	st.RecoveredJobs = s.recoveredN
 	st.RecoveryMS = float64(s.recoveryDur.Microseconds()) / 1000.0
 	st.StoreErrors = s.storeErrs
+	st.Degraded = s.degraded
+	st.Retries = s.retriesN
 	st.Tenants = s.tenantStatsLocked()
+	if s.cfg.ReplicaID != "" {
+		st.Replica = s.cfg.ReplicaID
+		st.Fenced = s.fencedN
+		st.Adopted = s.adoptedN
+		for _, j := range s.jobs {
+			if j.lease.Epoch != 0 && !j.state.Terminal() {
+				st.LeasesHeld++
+			}
+			if j.remote && !j.state.Terminal() {
+				st.RemoteJobs++
+			}
+		}
+		if s.failoverN > 0 {
+			st.FailoverMS = float64(s.failoverTotal.Microseconds()) / 1000.0 / float64(s.failoverN)
+		}
+	}
 	return st
 }
 
@@ -714,6 +827,10 @@ func (s *Scheduler) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.replicaStop != nil {
+		close(s.replicaStop)
+		s.replicaStop = nil
+	}
 	if s.draining {
 		// a completed Drain leaves queued/preempted jobs for the next boot:
 		// their submitted records (and spilled checkpoints) are durable, so
@@ -765,21 +882,22 @@ func (s *Scheduler) dispatchLocked() {
 			s.maybePreemptLocked()
 			return
 		}
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
+		if s.leaseStore != nil && !s.claimLocked(j) {
+			if j.remote {
+				continue // lost the claim CAS; try the next queued job
 			}
+			return // store trouble: stop the round, the job stays queued
 		}
+		s.removeFromQueueLocked(j)
 		sl.busy = true
 		resumed := j.state == StatePreempted
 		j.state = StateRunning
 		j.engine = sl.id
 		j.preempt = opt.NewPreemptSignal() // fresh per dispatch; Preempt targets it
 		j.started = time.Now()
-		s.logAppendLocked(&store.Record{
+		s.logAppendLocked(s.stampOwner(j, &store.Record{
 			Type: store.TypeDispatched, Job: string(j.id), Updates: j.updates,
-		})
+		}))
 		wait := j.started.Sub(j.queued)
 		s.queueWaitTotal += wait
 		if wait > s.queueWaitMax {
@@ -964,6 +1082,24 @@ func (s *Scheduler) run(sl *slot, j *job) {
 	sl.busy = false
 	s.useSeq++
 	sl.lastUsed = s.useSeq
+	// replica mode: before any state transition, confirm we still own the
+	// job. A fenced run's outcome — success included — must be abandoned,
+	// not finalized: the adopter owns the job's history now.
+	if s.leaseStore != nil && j.lease.Epoch != 0 {
+		lost := j.leaseLost
+		if !lost {
+			lease := j.lease
+			s.mu.Unlock()
+			_, rerr := s.leaseStore.Renew(string(j.id), lease.Owner, lease.Epoch, s.cfg.LeaseTTL)
+			s.mu.Lock()
+			lost = j.leaseLost || errors.Is(rerr, store.ErrFenced)
+		}
+		if lost {
+			s.abandonLocked(j)
+			s.dispatchLocked()
+			return
+		}
+	}
 	var pe *opt.PreemptedError
 	if errors.As(err, &pe) && !j.cancelRequested && !s.closed {
 		j.preempting = false
@@ -975,6 +1111,9 @@ func (s *Scheduler) run(sl *slot, j *job) {
 		j.engine = -1
 		j.queued = time.Now() // queue-wait accounting restarts here
 		s.spillLocked(j, pe.Checkpoint, store.TypePreempted)
+		// the lease releases with the spill durable: any replica (this one
+		// included) may re-claim the preempted job through the same CAS
+		s.releaseLeaseLocked(j)
 		s.enqueueLocked(j)
 		ev := s.newEventLocked(j, EventPreempted, "")
 		ev.Updates = pe.Checkpoint.Updates
@@ -986,6 +1125,25 @@ func (s *Scheduler) run(sl *slot, j *job) {
 	if errors.As(err, &pe) {
 		// preempted but also canceled/closing: fold into cancellation
 		err = context.Canceled
+	}
+	if err != nil && !j.cancelRequested && !errors.Is(err, context.Canceled) &&
+		!s.closed && !s.draining && j.retries < j.spec.maxRetries() {
+		// transient runtime failure with retry budget left: re-queue and
+		// resume from the last durable checkpoint instead of failing
+		j.retries++
+		s.retriesN++
+		j.trace.Event("retrying", "attempt", j.retries, "error", err.Error())
+		j.engine = -1
+		j.state = StateQueued
+		if j.cp != nil {
+			j.state = StatePreempted
+		}
+		j.queued = time.Now()
+		s.releaseLeaseLocked(j)
+		s.enqueueLocked(j)
+		s.emitLocked(j, EventQueued, fmt.Sprintf("retrying after: %v", err))
+		s.dispatchLocked()
+		return
 	}
 	s.finalizeLocked(j, res, err)
 	s.dispatchLocked()
@@ -1143,12 +1301,13 @@ func (s *Scheduler) finalizeLocked(j *job, res *async.Result, err error) {
 		if j.finalErr != nil {
 			rec.FinalError, rec.HasFinal = *j.finalErr, true
 		}
-		s.logAppendLocked(rec)
+		s.logAppendLocked(s.stampOwner(j, rec))
 	case StateFailed:
-		s.logAppendLocked(&store.Record{Type: store.TypeFailed, Job: string(j.id), Detail: j.err})
+		s.logAppendLocked(s.stampOwner(j, &store.Record{Type: store.TypeFailed, Job: string(j.id), Detail: j.err}))
 	case StateCanceled:
-		s.logAppendLocked(&store.Record{Type: store.TypeCanceled, Job: string(j.id), Detail: j.err})
+		s.logAppendLocked(s.stampOwner(j, &store.Record{Type: store.TypeCanceled, Job: string(j.id), Detail: j.err}))
 	}
+	j.lease = store.Lease{} // the terminal record cleared it store-side
 	if s.cfg.Store != nil {
 		if err := s.cfg.Store.DropJob(string(j.id)); err != nil {
 			s.storeErrs++

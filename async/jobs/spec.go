@@ -179,6 +179,12 @@ type Spec struct {
 	// regardless.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 
+	// MaxRetries bounds scheduler-side re-queues after a transient runtime
+	// failure: instead of failing outright, the job goes back in the queue
+	// and resumes from its last durable checkpoint. Default 1; -1 disables
+	// retries. Cancellations and preemptions never count as retries.
+	MaxRetries int `json:"max_retries,omitempty"`
+
 	// ResumeFrom resumes from the named job's latest checkpoint. Every
 	// field left unset inherits the source job's spec (objective, schedule,
 	// sampling, barrier, budget, priority), so a bare resume_from continues
@@ -232,6 +238,12 @@ func (sp *Spec) normalize() error {
 	}
 	if sp.CheckpointEvery < 0 {
 		return fmt.Errorf("jobs: checkpoint_every %d must be non-negative", sp.CheckpointEvery)
+	}
+	if sp.MaxRetries == 0 {
+		sp.MaxRetries = 1
+	}
+	if sp.MaxRetries < -1 {
+		return fmt.Errorf("jobs: max_retries %d must be >= -1 (-1 disables retries)", sp.MaxRetries)
 	}
 	if sp.SLOMillis < 0 {
 		return fmt.Errorf("jobs: slo_ms %d must be non-negative", sp.SLOMillis)
@@ -365,6 +377,9 @@ func (sp Spec) withResumeBase(base Spec) Spec {
 	if sp.CheckpointEvery != 0 {
 		out.CheckpointEvery = sp.CheckpointEvery
 	}
+	if sp.MaxRetries != 0 {
+		out.MaxRetries = sp.MaxRetries
+	}
 	if sp.FStar != 0 {
 		out.FStar = sp.FStar
 	}
@@ -377,6 +392,14 @@ func (sp Spec) withResumeBase(base Spec) Spec {
 	out.StalenessLR = out.StalenessLR || sp.StalenessLR
 	out.AutoFStar = out.AutoFStar || sp.AutoFStar
 	return out
+}
+
+// maxRetries is the effective retry budget: -1 means none.
+func (sp Spec) maxRetries() int {
+	if sp.MaxRetries < 0 {
+		return 0
+	}
+	return sp.MaxRetries
 }
 
 // solveOptions assembles the engine-facing run configuration. workers is

@@ -54,11 +54,46 @@
 // appends and once after recovery; records evicted by the scheduler's
 // retention limit simply stop appearing in snapshots.
 //
+// # Leases and epoch fencing
+//
+// Multi-replica coordination rides on three more record types — claimed,
+// renewed, released — carrying an Owner, a per-job Epoch, and an
+// ExpiresAt deadline (the v2 binary record format; v1 logs replay
+// unchanged). A replica claims a queued job before dispatching it: the
+// claim is a CAS that fails with ErrLeaseHeld while another replica's
+// lease is live, and succeeds with an epoch strictly above every epoch
+// the job has ever seen. That high-water mark is the fence: any
+// lifecycle append carrying a stale epoch — or no owner at all while a
+// live foreign lease exists — is rejected with ErrFenced. A replica that
+// loses its lease (crash, partition, missed renewals) can therefore
+// never retroactively finalize the job; the adopter's epoch wins, and
+// exactly one terminal record lands in the log. Terminal records clear
+// the lease and its epoch history. Submitted, claimed, renewed, and
+// released records are never themselves fenced.
+//
+// Stores implementing the optional LeaseStore interface (Claim / Renew /
+// Release / Leases / ReplaySince) expose this to the scheduler's replica
+// mode; Mem and Shared both do.
+//
+// # Shared: one directory, many replicas
+//
+// Shared is the multi-handle WAL: every replica opens the same directory
+// and serializes mutations through flock(2) on wal.lock. Each handle
+// keeps a cached view of the log and refreshes it incrementally by
+// scanning the tail it has not yet seen; a compaction by any replica is
+// detected by inode comparison and bumps a generation counter, so
+// ReplaySince(Watermark{Gen, Seq}) lets the scheduler consume exactly
+// the records that are new to it. Torn tails are truncated under the
+// lock by whichever handle finds them — a record half-written by a
+// killed replica costs that replica its un-acked suffix and nothing
+// else, and a claim torn mid-append is dropped on recovery (the job
+// stays claimable; no lease leaks from a partial record).
+//
 // # Seam
 //
 // The scheduler depends only on the Store interface (append / replay /
-// checkpoint spill / compact), so a shared multi-replica backend with
-// lease-based claiming can slot in without touching the scheduler;
-// WAL is the single-node file implementation and Mem is the in-memory
-// implementation used by tests.
+// checkpoint spill / compact) plus the optional LeaseStore extension.
+// WAL is the single-node file implementation, Shared the multi-replica
+// one, and Mem the in-memory implementation used by tests; faulty.Wrap
+// layers deterministic fault injection over any of them.
 package store

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"time"
+)
+
+// Lease-layer errors. ErrFenced is the hard safety signal: the caller's
+// ownership epoch is stale (its lease expired, was released, or a newer
+// claim bumped the epoch) and the attempted mutation was rejected — a
+// partitioned replica gets ErrFenced instead of corrupting shared state.
+// ErrLeaseHeld is the soft CAS-failure signal: another replica currently
+// holds a live lease on the job; try another job or wait for expiry.
+var (
+	ErrFenced    = errors.New("store: fenced (stale lease epoch)")
+	ErrLeaseHeld = errors.New("store: lease held by another owner")
+)
+
+// Lease is one job's ownership record: who may mutate it, under which
+// fencing epoch, and until when. Epochs strictly increase per job across
+// claims — a claim after expiry or release always observes a higher epoch
+// than the one it displaced, so a stale owner can never pass a fence check
+// again.
+type Lease struct {
+	Job       string `json:"job"`
+	Owner     string `json:"owner"`
+	Epoch     int64  `json:"epoch"`
+	ExpiresAt int64  `json:"expires_at"` // unix nanoseconds
+}
+
+// Live reports whether the lease is unexpired at now.
+func (l Lease) Live(now time.Time) bool {
+	return l.Owner != "" && now.UnixNano() < l.ExpiresAt
+}
+
+// Watermark identifies a log position for incremental tail reads: the
+// compaction generation (compaction renumbers record seqs, so a seq alone
+// is ambiguous) plus the last record seq consumed within it. The zero
+// Watermark reads from the beginning.
+type Watermark struct {
+	Gen uint64 `json:"gen"`
+	Seq uint64 `json:"seq"`
+}
+
+// LeaseStore is the multi-replica extension of Store: lease-based job
+// claiming with epoch fencing, plus incremental tail replay so replicas
+// learn of each other's appends. Shared (file-locked multi-handle WAL) and
+// Mem implement it; a remote backend slots in behind the same surface.
+//
+// Fencing contract: Append with a non-empty rec.Owner succeeds only while
+// the job's live lease matches (Owner, Epoch) exactly and is unexpired;
+// otherwise ErrFenced. Claim succeeds when the job is unleased, its lease
+// expired, or the claimant already owns it — always bumping the epoch.
+// Renew extends a live lease the caller holds; a renew after expiry fails
+// with ErrFenced (the owner must re-claim, racing any adopter through the
+// same CAS). Terminal records clear the lease implicitly.
+type LeaseStore interface {
+	Store
+	// Claim atomically acquires the job's lease for owner with the given
+	// TTL, bumping the epoch past every epoch ever observed for the job.
+	// Fails with ErrLeaseHeld while another owner's lease is live.
+	Claim(job, owner string, ttl time.Duration) (Lease, error)
+	// Renew extends the caller's live lease; ErrFenced if the (owner,
+	// epoch) pair is stale or the lease already expired.
+	Renew(job, owner string, epoch int64, ttl time.Duration) (Lease, error)
+	// Release ends the caller's lease; ErrFenced on a stale pair. Releasing
+	// an already-cleared lease is a no-op.
+	Release(job, owner string, epoch int64) error
+	// Leases snapshots the lease table, expired entries included (the
+	// caller distinguishes by ExpiresAt — an expired entry is an orphan
+	// candidate).
+	Leases() ([]Lease, error)
+	// ReplaySince streams records appended after the watermark and returns
+	// the new watermark. After a compaction the generation changes and the
+	// log replays from its (rewritten) beginning.
+	ReplaySince(w Watermark, fn func(Record) error) (Watermark, error)
+}
+
+// leaseTable is the in-memory lease state both lease-capable stores derive
+// from the record stream. Not self-locking: the owning store guards it.
+type leaseTable struct {
+	leases   map[string]Lease
+	maxEpoch map[string]int64 // highest epoch ever observed per job
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{leases: map[string]Lease{}, maxEpoch: map[string]int64{}}
+}
+
+// apply folds one record into the table. Claim/renew/release maintain the
+// lease map; terminal records clear the job's lease (the job is over) and
+// its epoch high-water (the job ID will never be claimed again).
+func (t *leaseTable) apply(rec *Record) {
+	switch rec.Type {
+	case TypeClaimed:
+		t.leases[rec.Job] = Lease{Job: rec.Job, Owner: rec.Owner, Epoch: rec.Epoch, ExpiresAt: rec.ExpiresAt}
+		if rec.Epoch > t.maxEpoch[rec.Job] {
+			t.maxEpoch[rec.Job] = rec.Epoch
+		}
+	case TypeRenewed:
+		if l, ok := t.leases[rec.Job]; ok && l.Owner == rec.Owner && l.Epoch == rec.Epoch {
+			l.ExpiresAt = rec.ExpiresAt
+			t.leases[rec.Job] = l
+		}
+	case TypeReleased:
+		if rec.Epoch > t.maxEpoch[rec.Job] {
+			t.maxEpoch[rec.Job] = rec.Epoch
+		}
+		if l, ok := t.leases[rec.Job]; ok && l.Owner == rec.Owner && l.Epoch == rec.Epoch {
+			delete(t.leases, rec.Job)
+		}
+	case TypeDone, TypeFailed, TypeCanceled:
+		delete(t.leases, rec.Job)
+		delete(t.maxEpoch, rec.Job)
+	}
+}
+
+// fence validates an ownership-asserting append: a record carrying an
+// Owner must match the job's live lease exactly. Ownerless lifecycle
+// records (single-owner schedulers) pass unfenced — unless the job holds a
+// live lease, in which case only its owner may move the job's state: an
+// unfenced Canceled from a bystander must not clear a running replica's
+// lease out from under it. Submissions and lease-protocol records are
+// never fenced here (claims carry their own CAS).
+func (t *leaseTable) fence(rec *Record, now time.Time) error {
+	switch rec.Type {
+	case TypeClaimed, TypeRenewed, TypeReleased, TypeSubmitted:
+		return nil
+	}
+	l, ok := t.leases[rec.Job]
+	if rec.Owner == "" {
+		if ok && l.Live(now) {
+			return ErrFenced
+		}
+		return nil
+	}
+	if !ok || l.Owner != rec.Owner || l.Epoch != rec.Epoch || !l.Live(now) {
+		return ErrFenced
+	}
+	return nil
+}
+
+// claim runs the claim CAS against the table and returns the records's
+// lease fields. The caller appends the returned Claimed record durably
+// before applying it.
+func (t *leaseTable) claim(job, owner string, ttl time.Duration, now time.Time) (Lease, error) {
+	if l, ok := t.leases[job]; ok && l.Owner != owner && l.Live(now) {
+		return Lease{}, ErrLeaseHeld
+	}
+	return Lease{
+		Job:       job,
+		Owner:     owner,
+		Epoch:     t.maxEpoch[job] + 1,
+		ExpiresAt: now.Add(ttl).UnixNano(),
+	}, nil
+}
+
+// renew validates a renewal and returns the extended lease. An expired or
+// superseded lease fails with ErrFenced: the owner must go back through
+// the claim CAS.
+func (t *leaseTable) renew(job, owner string, epoch int64, ttl time.Duration, now time.Time) (Lease, error) {
+	l, ok := t.leases[job]
+	if !ok || l.Owner != owner || l.Epoch != epoch || !l.Live(now) {
+		return Lease{}, ErrFenced
+	}
+	l.ExpiresAt = now.Add(ttl).UnixNano()
+	return l, nil
+}
+
+// release validates a release. A missing lease is a no-op (the terminal
+// record already cleared it); a mismatched live lease is ErrFenced.
+func (t *leaseTable) release(job, owner string, epoch int64) (Lease, bool, error) {
+	l, ok := t.leases[job]
+	if !ok {
+		return Lease{}, false, nil
+	}
+	if l.Owner != owner || l.Epoch != epoch {
+		return Lease{}, false, ErrFenced
+	}
+	return l, true, nil
+}
+
+// snapshotRecords serializes the table back into log records so a
+// compaction preserves lease semantics: one Claimed record per held lease
+// (live or expired — an expired lease is an adoptable orphan and must
+// survive the rewrite), plus an ownerless Released record pinning the
+// epoch high-water of every job whose lease was released. Replaying them
+// through apply reproduces the table exactly.
+func (t *leaseTable) snapshotRecords(now int64) []*Record {
+	recs := make([]*Record, 0, len(t.leases)+len(t.maxEpoch))
+	for _, l := range t.leases {
+		recs = append(recs, &Record{
+			Type: TypeClaimed, Job: l.Job, Time: now,
+			Owner: l.Owner, Epoch: l.Epoch, ExpiresAt: l.ExpiresAt,
+		})
+	}
+	for job, epoch := range t.maxEpoch {
+		if _, held := t.leases[job]; !held {
+			recs = append(recs, &Record{Type: TypeReleased, Job: job, Time: now, Epoch: epoch})
+		}
+	}
+	return recs
+}
+
+// snapshot copies the lease table.
+func (t *leaseTable) snapshot() []Lease {
+	out := make([]Lease, 0, len(t.leases))
+	for _, l := range t.leases {
+		out = append(out, l)
+	}
+	return out
+}

@@ -12,7 +12,10 @@ type Type byte
 
 // One record type per lifecycle transition. TypeSubmitted opens a job's
 // history (and carries its spec); TypeCheckpointed marks a durable spill
-// keyed by DispatchSeq; the terminal types close it.
+// keyed by DispatchSeq; the terminal types close it. The lease types
+// (claimed/renewed/released) carry job ownership for multi-replica stores:
+// Claimed opens an ownership epoch, Renewed extends its expiry, Released
+// (or any terminal record) ends it.
 const (
 	TypeSubmitted Type = iota + 1
 	TypeDispatched
@@ -21,6 +24,9 @@ const (
 	TypeDone
 	TypeFailed
 	TypeCanceled
+	TypeClaimed
+	TypeRenewed
+	TypeReleased
 )
 
 var typeNames = map[Type]string{
@@ -31,6 +37,9 @@ var typeNames = map[Type]string{
 	TypeDone:         "done",
 	TypeFailed:       "failed",
 	TypeCanceled:     "canceled",
+	TypeClaimed:      "claimed",
+	TypeRenewed:      "renewed",
+	TypeReleased:     "released",
 }
 
 func (t Type) String() string {
@@ -78,13 +87,29 @@ type Record struct {
 	// (TypeDone).
 	FinalError float64
 	HasFinal   bool
+
+	// Lease fields (format v2). Owner names the replica holding (or
+	// claiming) the job; Epoch is the fencing token, strictly increasing
+	// per job across claims; ExpiresAt is the lease deadline in unix
+	// nanoseconds. On lifecycle records (dispatched, checkpointed,
+	// preempted, terminal) a non-empty Owner asserts ownership: the store
+	// rejects the append with ErrFenced unless (Owner, Epoch) matches the
+	// job's live lease.
+	Owner     string
+	Epoch     int64
+	ExpiresAt int64
 }
 
 // Frame format constants. The record frame mirrors the wire codec's
 // [u32 len][format][body] layout with a trailing CRC-32 so a torn or
 // bit-flipped append is detected instead of replayed.
 const (
+	// recFormatBin is the pre-lease record body (PR 6); decode keeps
+	// accepting it so logs written before the lease schema still replay.
 	recFormatBin byte = 1
+	// recFormatBin2 appends the lease fields (Owner, Epoch, ExpiresAt) to
+	// the body; every new append writes this format.
+	recFormatBin2 byte = 2
 
 	// maxRecord bounds one record frame so a corrupt length prefix cannot
 	// trigger an unbounded allocation during replay. Specs are small
@@ -114,12 +139,15 @@ func (r *Record) encode(dst []byte) []byte {
 	}
 	bw.PutByte(hf)
 	bw.PutFloat64(r.FinalError)
+	bw.PutString(r.Owner)
+	bw.PutVarint(r.Epoch)
+	bw.PutVarint(r.ExpiresAt)
 	body := bw.Bytes()
 
 	l := uint32(1 + len(body) + 4) // format + body + crc
 	dst = append(dst, byte(l>>24), byte(l>>16), byte(l>>8), byte(l))
 	start := len(dst)
-	dst = append(dst, recFormatBin)
+	dst = append(dst, recFormatBin2)
 	dst = append(dst, body...)
 	crc := crc32.ChecksumIEEE(dst[start:])
 	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
@@ -146,8 +174,9 @@ func decodeRecord(buf []byte) (Record, int, error) {
 	if got := crc32.ChecksumIEEE(frame[:crcAt]); got != want {
 		return Record{}, 0, fmt.Errorf("store: record CRC mismatch (%08x != %08x)", got, want)
 	}
-	if frame[0] != recFormatBin {
-		return Record{}, 0, fmt.Errorf("store: unknown record format %d", frame[0])
+	format := frame[0]
+	if format != recFormatBin && format != recFormatBin2 {
+		return Record{}, 0, fmt.Errorf("store: unknown record format %d", format)
 	}
 	br := cluster.NewBinReader(frame[1:crcAt])
 	r := Record{
@@ -165,6 +194,11 @@ func decodeRecord(buf []byte) (Record, int, error) {
 	r.Detail = br.String()
 	r.HasFinal = br.Byte() == 1
 	r.FinalError = br.Float64()
+	if format >= recFormatBin2 {
+		r.Owner = br.String()
+		r.Epoch = br.Varint()
+		r.ExpiresAt = br.Varint()
+	}
 	if err := br.Err(); err != nil {
 		return Record{}, 0, fmt.Errorf("store: record body: %w", err)
 	}

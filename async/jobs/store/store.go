@@ -65,4 +65,12 @@ type Metrics struct {
 	// TruncatedTail reports that the last open found (and cut) a torn or
 	// corrupt log tail — expected after a crash mid-append.
 	TruncatedTail bool `json:"truncated_tail,omitempty"`
+
+	// Lease-layer counters (LeaseStore implementations only).
+	LeaseClaims   int64 `json:"lease_claims,omitempty"`
+	LeaseRenewals int64 `json:"lease_renewals,omitempty"`
+	LeasesHeld    int64 `json:"leases_held,omitempty"`
+	// FencedAppends counts mutations rejected with ErrFenced — each one is
+	// a stale replica that tried to write after losing its lease.
+	FencedAppends int64 `json:"fenced_appends,omitempty"`
 }

@@ -25,4 +25,10 @@ var (
 		"Records recovered from disk across WAL opens.")
 	walTruncations = telemetry.Default().Counter("async_wal_truncations_total",
 		"WAL opens that discarded a torn or corrupt tail.")
+	walLeaseClaims = telemetry.Default().Counter("async_wal_lease_claims_total",
+		"Job leases claimed (epoch bumps) across lease-capable stores.")
+	walLeaseRenewals = telemetry.Default().Counter("async_wal_lease_renewals_total",
+		"Job lease renewals across lease-capable stores.")
+	walFencedAppends = telemetry.Default().Counter("async_wal_fenced_appends_total",
+		"Mutations rejected with ErrFenced (stale replica writes).")
 )

@@ -266,17 +266,7 @@ func (w *WAL) SaveCheckpoint(job string, dispatchSeq int64, cp *opt.Checkpoint) 
 
 // dropSpillsLocked removes the job's spill files except keep ("" = all).
 func (w *WAL) dropSpillsLocked(job, keep string) {
-	prefix := "cp-" + job + "-"
-	entries, err := os.ReadDir(w.dir)
-	if err != nil {
-		return
-	}
-	for _, e := range entries {
-		n := e.Name()
-		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".ckpt") && n != keep {
-			_ = os.Remove(filepath.Join(w.dir, n))
-		}
-	}
+	dropSpillFiles(w.dir, job, keep)
 }
 
 // LoadCheckpoint loads the spill keyed by (job, dispatchSeq).

@@ -51,6 +51,8 @@ func main() {
 		queue    = flag.Int("queue", 64, "job-queue depth (serve)")
 		retain   = flag.Int("retain", 256, "terminal jobs retained (serve)")
 		storeDir = flag.String("store-dir", "", "WAL directory for durable job state (serve; empty = in-memory only)")
+		replica  = flag.String("replica-id", "", "replica name for multi-replica serving over a shared -store-dir (serve; empty = single-owner)")
+		leaseTTL = flag.Duration("lease-ttl", 10*time.Second, "job-lease duration in replica mode (serve)")
 		quota    = flag.Int("tenant-quota", 0, "max queued jobs per tenant (serve; 0 = unlimited)")
 		sloSlack = flag.Duration("slo-slack", 5*time.Second, "deadline slack below which SLO jobs may preempt (serve)")
 		compact  = flag.Int("compact-every", 1024, "WAL appends between compactions (serve)")
@@ -67,6 +69,7 @@ func main() {
 			listen: *listen, engines: *engines, workers: *workers,
 			queue: *queue, retain: *retain, storeDir: *storeDir,
 			tenantQuota: *quota, sloSlack: *sloSlack, compactEvery: *compact,
+			replicaID: *replica, leaseTTL: *leaseTTL,
 		}); err != nil {
 			fatalf("serve: %v", err)
 		}
@@ -98,6 +101,8 @@ type serviceConfig struct {
 	tenantQuota  int
 	sloSlack     time.Duration
 	compactEvery int
+	replicaID    string
+	leaseTTL     time.Duration
 }
 
 // runService runs the job-scheduling daemon until SIGINT/SIGTERM. With
@@ -105,7 +110,10 @@ type serviceConfig struct {
 // before it is acknowledged, boot replays the log (resuming interrupted jobs
 // from their last durable checkpoint), and a signal drains gracefully —
 // running jobs preempt at their next update boundary, checkpoints persist,
-// and the WAL is fsynced before exit.
+// and the WAL is fsynced before exit. With -replica-id, several daemons
+// share one -store-dir: jobs are lease-claimed before dispatch, every
+// append is epoch-fenced, and a crashed replica's jobs fail over to the
+// survivors after its lease expires.
 func runService(cfg serviceConfig) error {
 	jc := jobs.Config{
 		Engines:       cfg.engines,
@@ -116,7 +124,22 @@ func runService(cfg serviceConfig) error {
 		CompactEvery:  cfg.compactEvery,
 		EngineOptions: []async.Option{async.WithWorkers(cfg.workers)},
 	}
-	if cfg.storeDir != "" {
+	switch {
+	case cfg.replicaID != "":
+		if cfg.storeDir == "" {
+			return errors.New("-replica-id needs -store-dir (replicas coordinate through the shared log)")
+		}
+		sh, err := store.OpenShared(cfg.storeDir, cfg.replicaID, store.SharedOptions{
+			CompactEvery: cfg.compactEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer sh.Close()
+		jc.Store = sh
+		jc.ReplicaID = cfg.replicaID
+		jc.LeaseTTL = cfg.leaseTTL
+	case cfg.storeDir != "":
 		w, err := store.Open(cfg.storeDir, store.Options{})
 		if err != nil {
 			return err

@@ -6,17 +6,53 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"time"
 
 	"repro/async"
 	"repro/async/jobs"
 )
 
+// submitWithRetry submits with capped exponential backoff plus jitter on
+// backpressure — the in-process mirror of how an HTTP client should treat
+// a 503 + Retry-After from POST /v1/jobs: ErrQueueFull and
+// ErrStoreUnavailable are transient, everything else is the caller's bug.
+func submitWithRetry(sched *jobs.Scheduler, spec jobs.Spec) (jobs.ID, error) {
+	const (
+		baseDelay = 50 * time.Millisecond
+		maxDelay  = 2 * time.Second
+		attempts  = 8
+	)
+	delay := baseDelay
+	for attempt := 1; ; attempt++ {
+		id, err := sched.Submit(spec)
+		if err == nil || !(errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrStoreUnavailable)) {
+			return id, err
+		}
+		if attempt == attempts {
+			return "", fmt.Errorf("submit: %w (gave up after %d attempts)", err, attempts)
+		}
+		// full jitter: sleep a uniform fraction of the capped exponential
+		// delay, so colliding clients spread out instead of thundering back
+		sleep := time.Duration(rand.Int63n(int64(delay)))
+		fmt.Printf("backpressure (%v); retrying in %v (attempt %d/%d)\n",
+			err, sleep.Round(time.Millisecond), attempt, attempts)
+		time.Sleep(sleep)
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
 func main() {
 	sched, err := jobs.New(jobs.Config{
-		Engines:       2,
+		Engines: 2,
+		// a deliberately shallow queue: the burst below overflows it, so the
+		// submission loop exercises the backoff path a real client needs
+		QueueDepth:    3,
 		EngineOptions: []async.Option{async.WithWorkers(4)},
 	})
 	if err != nil {
@@ -41,7 +77,7 @@ func main() {
 	}
 	ids := make([]jobs.ID, len(specs))
 	for i, spec := range specs {
-		if ids[i], err = sched.Submit(spec); err != nil {
+		if ids[i], err = submitWithRetry(sched, spec); err != nil {
 			log.Fatalf("submit %d: %v", i, err)
 		}
 		fmt.Printf("submitted %-7s %-14s as %s (priority %d)\n",

@@ -217,3 +217,162 @@ func durableSchedulerMetrics(log func(Entry)) error {
 		Note: fmt.Sprintf("%d ASGD jobs through a WAL-backed 2-engine pool with a mid-batch drain/restart", n)})
 	return nil
 }
+
+// replicaCfg builds one replica's scheduler config over a shared store with
+// bench-grade lease timing (tight scans so failover and cross-replica
+// mirroring, not ticker cadence, dominate the numbers).
+func replicaCfg(st store.Store, replica string, depth int) jobs.Config {
+	return jobs.Config{
+		Engines:        1,
+		QueueDepth:     depth,
+		Retention:      depth,
+		Store:          st,
+		ReplicaID:      replica,
+		LeaseTTL:       200 * time.Millisecond,
+		RenewEvery:     40 * time.Millisecond,
+		AdoptScanEvery: 25 * time.Millisecond,
+		EngineOptions: []async.Option{
+			async.WithWorkers(2),
+			async.WithPartitions(2),
+		},
+	}
+}
+
+// replicaMetrics measures multi-replica serving: failover latency (kill the
+// owning replica mid-run, time from lease expiry to the survivor's adoption
+// claim) and batch throughput at one vs two replicas over one shared
+// directory — the second replica claims work off the shared log, so the
+// jobs/sec delta is the scale-out the lease CAS buys.
+func replicaMetrics(log func(Entry)) error {
+	// scheduler.failover_ms: orphan expiry → adoption claim on the survivor
+	dir, err := os.MkdirTemp("", "bench-replica-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	shA, err := store.OpenShared(dir, "a", store.SharedOptions{NoSync: true})
+	if err != nil {
+		return err
+	}
+	sA, err := jobs.New(replicaCfg(shA, "a", 4))
+	if err != nil {
+		return err
+	}
+	spec := durableSpec()
+	spec.Updates = 4000
+	spec.CheckpointEvery = 50
+	id, err := sA.Submit(spec)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for shA.Metrics().CheckpointSpills < 1 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: replica a never spilled a checkpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sA.Kill() // crash without releasing: the lease must expire
+	shA.Kill()
+	shB, err := store.OpenShared(dir, "b", store.SharedOptions{NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer shB.Close()
+	sB, err := jobs.New(replicaCfg(shB, "b", 4))
+	if err != nil {
+		return err
+	}
+	defer sB.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	job, err := sB.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	if job.State != jobs.StateDone {
+		return fmt.Errorf("bench: failed-over job finished %s (%s)", job.State, job.Err)
+	}
+	st := sB.Stats()
+	if st.Adopted < 1 || st.FailoverMS <= 0 {
+		return fmt.Errorf("bench: no adoption measured (adopted %d, failover %.3f ms)", st.Adopted, st.FailoverMS)
+	}
+	log(Entry{Name: "scheduler.failover_ms", Value: st.FailoverMS, Unit: "ms", Better: LowerIsBetter,
+		Note: "owner killed mid-run: lease expiry → survivor's adoption claim (checkpointed resume)"})
+
+	// scheduler.replica{1,2}_jobs_per_sec: one batch, one vs two claimants
+	one, err := replicaBatch(1)
+	if err != nil {
+		return err
+	}
+	two, err := replicaBatch(2)
+	if err != nil {
+		return err
+	}
+	log(Entry{Name: "scheduler.replica1_jobs_per_sec", Value: one, Unit: "jobs/sec", Better: HigherIsBetter,
+		Note: "16 ASGD jobs (400 updates each), single replica over a shared store (lease CAS on every dispatch)"})
+	log(Entry{Name: "scheduler.replica2_jobs_per_sec", Value: two, Unit: "jobs/sec", Better: HigherIsBetter,
+		Note: "same batch, two replicas claiming off one shared log"})
+	return nil
+}
+
+// replicaBatch pushes one batch of jobs through nReplicas schedulers
+// sharing a directory and returns jobs/sec. All jobs are submitted on the
+// first replica; the rest import them from the shared log and compete for
+// claims.
+func replicaBatch(nReplicas int) (float64, error) {
+	// heavy enough per job that compute, not tail-scan cadence, dominates —
+	// otherwise the cross-replica mirror latency hides the scale-out
+	const n = 16
+	batchSpec := durableSpec()
+	batchSpec.Updates = 400
+	dir, err := os.MkdirTemp("", "bench-replica-batch-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	scheds := make([]*jobs.Scheduler, nReplicas)
+	for i := range scheds {
+		name := fmt.Sprintf("r%d", i)
+		sh, err := store.OpenShared(dir, name, store.SharedOptions{NoSync: true})
+		if err != nil {
+			return 0, err
+		}
+		defer sh.Close()
+		if scheds[i], err = jobs.New(replicaCfg(sh, name, n+2)); err != nil {
+			return 0, err
+		}
+		defer scheds[i].Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// warm up every replica's engine and dataset cache
+	for _, s := range scheds {
+		id, err := s.Submit(durableSpec())
+		if err != nil {
+			return 0, err
+		}
+		if _, err := s.Wait(ctx, id); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	ids := make([]jobs.ID, n)
+	for i := range ids {
+		var err error
+		if ids[i], err = scheds[0].Submit(batchSpec); err != nil {
+			return 0, err
+		}
+	}
+	// jobs finished on other replicas mirror back through the tail scan
+	for _, id := range ids {
+		job, err := scheds[0].Wait(ctx, id)
+		if err != nil {
+			return 0, err
+		}
+		if job.State != jobs.StateDone {
+			return 0, fmt.Errorf("bench: replica job %s finished %s (%s)", job.ID, job.State, job.Err)
+		}
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}

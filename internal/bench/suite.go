@@ -73,6 +73,9 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := durableSchedulerMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := replicaMetrics(log); err != nil {
+		return nil, err
+	}
 	if err := telemetryMetrics(log); err != nil {
 		return nil, err
 	}
