@@ -155,6 +155,13 @@ func (s *Scheduler) fenceRunningLocked(j *job) {
 // finalized here. The job is marked remote; if no adopter ever claims it,
 // the orphan scan flips it back to claimable.
 func (s *Scheduler) abandonLocked(j *job) {
+	if j.state.Terminal() {
+		// finalizeRemoteLocked landed while run() had mu released (its
+		// ownership Renew runs unlocked): the mirrored terminal state is
+		// the truth — flipping it back to queued would re-open a job whose
+		// done channel is already closed
+		return
+	}
 	s.fencedN++
 	j.preempting = false
 	j.engine = -1
@@ -308,6 +315,12 @@ func (s *Scheduler) applyRemoteLocked(rec *store.Record) {
 // second replica adds throughput. A spec that does not validate against
 // this process's registry is left to its home replica.
 func (s *Scheduler) importRemoteSubmitLocked(rec *store.Record) {
+	if len(s.queue) >= s.cfg.QueueDepth {
+		// same admission bound as Submit: a burst on one replica must not
+		// grow every replica's queue without limit — over-limit imports
+		// stay with their home replica
+		return
+	}
 	var spec Spec
 	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
 		s.storeErrs++
@@ -420,7 +433,9 @@ func (s *Scheduler) finalizeRemoteLocked(j *job, rec *store.Record) {
 	j.engine = -1
 	j.remote, j.remoteOwner = true, rec.Owner
 	j.lease = store.Lease{}
-	j.leaseLost = false
+	// j.leaseLost is deliberately left as-is: a fenced run's unwind may not
+	// have observed it yet, and clearing it here would send that unwind down
+	// the finalize path instead of the (terminal-guarded) abandon path
 	j.finished = time.Unix(0, rec.Time)
 	if rec.Updates > j.updates {
 		j.updates = rec.Updates

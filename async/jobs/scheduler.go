@@ -511,11 +511,22 @@ func (s *Scheduler) List() []Job {
 	for _, j := range s.jobs {
 		ordered = append(ordered, j)
 	}
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
+	sort.Slice(ordered, func(a, b int) bool { return jobLess(ordered[a], ordered[b]) })
 	for _, j := range ordered {
 		out = append(out, j.snapshot())
 	}
 	return out
+}
+
+// jobLess is the listing order: submission ordinal, then ID. Imported
+// remote jobs keep their home replica's JobSeq, so ordinals alone are not
+// unique across replicas — the ID tie-break keeps pagination total and
+// stable.
+func jobLess(a, b *job) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.id < b.id
 }
 
 // ListQuery filters and paginates ListPage.
@@ -542,14 +553,17 @@ func (s *Scheduler) ListPage(q ListQuery) (page []Job, next ID) {
 	for _, j := range s.jobs {
 		ordered = append(ordered, j)
 	}
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a].seq < ordered[b].seq })
-	afterSeq := int64(-1)
+	sort.Slice(ordered, func(a, b int) bool { return jobLess(ordered[a], ordered[b]) })
+	// the cursor is the full (seq, id) pair: seqs tie across replicas (an
+	// imported job keeps its home replica's ordinal), and a bare
+	// strictly-greater seq comparison would skip or duplicate at ties
+	afterSeq, afterID := int64(-1), ID("")
 	if q.After != "" {
-		afterSeq = cursorSeq(s.jobs, q.After)
+		afterSeq, afterID = cursorSeq(s.jobs, q.After), q.After
 	}
 	page = []Job{}
 	for _, j := range ordered {
-		if j.seq <= afterSeq {
+		if j.seq < afterSeq || (j.seq == afterSeq && j.id <= afterID) {
 			continue
 		}
 		if q.State != "" && j.state != q.State {
@@ -1084,8 +1098,11 @@ func (s *Scheduler) run(sl *slot, j *job) {
 	sl.lastUsed = s.useSeq
 	// replica mode: before any state transition, confirm we still own the
 	// job. A fenced run's outcome — success included — must be abandoned,
-	// not finalized: the adopter owns the job's history now.
-	if s.leaseStore != nil && j.lease.Epoch != 0 {
+	// not finalized: the adopter owns the job's history now. leaseLost is
+	// checked even with the lease cleared — finalizeRemoteLocked drops the
+	// lease while fencing us, and that unwind must still abandon, not fall
+	// through to the preempt/retry branches on an already-terminal job.
+	if s.leaseStore != nil && (j.leaseLost || j.lease.Epoch != 0) {
 		lost := j.leaseLost
 		if !lost {
 			lease := j.lease

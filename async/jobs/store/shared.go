@@ -77,10 +77,11 @@ type Shared struct {
 	truncated    bool
 
 	// failpoints (tests), same semantics as WAL
-	failAfter int64
-	armed     bool
-	dead      bool
-	closed    bool
+	failAfter     int64
+	armed         bool
+	failTransient bool
+	dead          bool
+	closed        bool
 }
 
 // OpenShared opens (creating if needed) the shared store in dir as the
@@ -264,10 +265,13 @@ func (s *Shared) syncLog() error {
 
 // appendRecLocked durably writes one record at the tail of the refreshed
 // view and folds it into the caches. Fencing is the caller's concern.
+// Nothing — seq, offset, caches — advances until the frame is durable: a
+// failed write or fsync unwinds the file back to the pre-append tail, so
+// seq numbering stays contiguous with the durable log and the next append
+// cannot be mistaken for a torn tail by peer replicas.
 func (s *Shared) appendRecLocked(rec *Record) error {
 	start := time.Now()
-	s.seq++
-	rec.Seq = s.seq
+	rec.Seq = s.seq + 1
 	if rec.Time == 0 {
 		rec.Time = start.UnixNano()
 	}
@@ -285,12 +289,11 @@ func (s *Shared) appendRecLocked(rec *Record) error {
 		}
 		s.failAfter--
 	}
-	if _, err := s.f.WriteAt(frame, s.off); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if err := s.syncLog(); err != nil {
+	if err := s.writeFrameLocked(frame); err != nil {
+		s.unwindAppendLocked()
 		return err
 	}
+	s.seq = rec.Seq
 	s.off += int64(len(frame))
 	s.records = append(s.records, *rec)
 	s.lt.apply(rec)
@@ -299,6 +302,36 @@ func (s *Shared) appendRecLocked(rec *Record) error {
 	walAppends.Inc()
 	walAppendLat.ObserveSince(start)
 	return nil
+}
+
+// writeFrameLocked lands one encoded frame durably at the validated tail.
+func (s *Shared) writeFrameLocked(frame []byte) error {
+	if s.failTransient {
+		// transient failpoint: half the frame lands before the write errors
+		// (ENOSPC-style); unlike the crash failpoint the handle survives
+		s.failTransient = false
+		_, _ = s.f.WriteAt(frame[:len(frame)/2], s.off)
+		return fmt.Errorf("store: append: injected transient write failure")
+	}
+	if _, err := s.f.WriteAt(frame, s.off); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	return s.syncLog()
+}
+
+// unwindAppendLocked restores the log file to the validated tail (s.off)
+// after a failed append, discarding any partially-written frame. If even
+// the truncate cannot be made durable the handle goes dead — its view can
+// no longer be trusted, and the flock holder that follows will cut any
+// torn bytes on refresh.
+func (s *Shared) unwindAppendLocked() {
+	if err := s.f.Truncate(s.off); err != nil {
+		s.dead = true
+		return
+	}
+	if err := s.syncLog(); err != nil {
+		s.dead = true
+	}
 }
 
 // Dir returns the store directory.
@@ -797,6 +830,16 @@ func (s *Shared) FailAfterAppends(n int64) {
 	defer s.mu.Unlock()
 	s.armed = true
 	s.failAfter = n
+}
+
+// FailNextAppendTransient arms a one-shot transient append failure: half
+// the next frame lands before the write errors, but the handle survives
+// (unlike FailAfterAppends) — exercising the rollback that keeps seq
+// numbering contiguous with the durable log. Testing hook.
+func (s *Shared) FailNextAppendTransient() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failTransient = true
 }
 
 // Kill makes this handle drop every subsequent mutation (ErrClosed)

@@ -325,3 +325,51 @@ func TestSharedCrashFailpointSurvivorTruncates(t *testing.T) {
 		t.Fatalf("survivor log has %d records, want 2 (torn record dropped)", last)
 	}
 }
+
+// TestSharedTransientAppendFailureRollsBack: a failed append must leave no
+// seq gap. Before the fix, appendRecLocked bumped seq before the write, so
+// a transient error left a permanent gap and the next successful append
+// (here, a lease claim) was truncated by peers as a torn tail — the
+// claimant believed it held the lease while peers could claim the same
+// job.
+func TestSharedTransientAppendFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	a := openShared(t, dir, "a")
+	const job = "job-a-000001"
+	if err := a.Append(testRecord(1, TypeSubmitted, job)); err != nil {
+		t.Fatal(err)
+	}
+	a.FailNextAppendTransient()
+	if err := a.Append(testRecord(2, TypeSubmitted, "job-a-000002")); err == nil {
+		t.Fatal("injected append failure returned nil")
+	}
+	// the handle survives and its next append lands at a contiguous seq
+	la, err := a.Claim(job, "a", time.Minute)
+	if err != nil {
+		t.Fatalf("claim after transient append failure: %v", err)
+	}
+	// a peer must replay both durable records intact; a seq gap would make
+	// it cut the claim as a torn tail and hand the lease to someone else
+	b := openShared(t, dir, "b")
+	var types []Type
+	var last uint64
+	if err := b.Replay(func(r Record) error {
+		if r.Seq != last+1 {
+			t.Fatalf("seq %d after %d: gap left by failed append", r.Seq, last)
+		}
+		last = r.Seq
+		types = append(types, r.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != TypeSubmitted || types[1] != TypeClaimed {
+		t.Fatalf("peer replay %v, want [submitted claimed]", types)
+	}
+	if m := b.Metrics(); m.TruncatedTail {
+		t.Fatal("peer truncated a tail the rollback should have repaired")
+	}
+	if _, err := b.Claim(job, "b", time.Minute); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("peer claim over live lease (epoch %d): %v, want ErrLeaseHeld", la.Epoch, err)
+	}
+}
