@@ -147,6 +147,12 @@ type Spec struct {
 	// Loss is the deprecated flat alias for Objective.Loss, kept for
 	// pre-objective clients; setting both to different losses is an error.
 	Loss string `json:"loss,omitempty"`
+	// Mode selects the block-selection order for the coordinate solvers:
+	// cd accepts cyclic (default), random, or greedy (Gauss-Southwell via
+	// the driver-side MaxIP index, with verified-or-fallback semantics);
+	// gcg accepts full (default) or greedy. Solvers without selection
+	// modes reject a non-empty mode at submission.
+	Mode string `json:"mode,omitempty"`
 	// SampleFrac is the mini-batch sampling rate b (default 0.3).
 	SampleFrac float64 `json:"sample_frac,omitempty"`
 	// Updates is the model-update budget (default 200; rounds for
@@ -213,6 +219,9 @@ func (sp *Spec) normalize() error {
 		return err
 	}
 	if err := sp.normalizeObjective(); err != nil {
+		return err
+	}
+	if err := sp.normalizeMode(); err != nil {
 		return err
 	}
 	if sp.SampleFrac == 0 {
@@ -310,6 +319,35 @@ func (sp *Spec) normalizeObjective() error {
 	return nil
 }
 
+// modeSolvers lists, per algorithm, the selection modes Spec.Mode accepts.
+// Solvers outside the map have no mode knob and reject a non-empty Mode.
+var modeSolvers = map[string][]string{
+	"cd":  {"cyclic", "random", "greedy"},
+	"gcg": {"full", "greedy"},
+}
+
+// normalizeMode lower-cases and validates Spec.Mode against the chosen
+// solver's selection modes.
+func (sp *Spec) normalizeMode() error {
+	if sp.Mode == "" {
+		return nil
+	}
+	algo := strings.ToLower(sp.Algorithm)
+	allowed, ok := modeSolvers[algo]
+	if !ok {
+		return fmt.Errorf("jobs: solver %q has no selection modes (mode applies to: cd, gcg)", algo)
+	}
+	mode := strings.ToLower(sp.Mode)
+	for _, m := range allowed {
+		if mode == m {
+			sp.Mode = mode
+			return nil
+		}
+	}
+	return fmt.Errorf("jobs: unknown mode %q for solver %q (known: %s)",
+		sp.Mode, algo, strings.Join(allowed, ", "))
+}
+
 // objective returns the merged structured objective (flat Loss alias
 // folded in).
 func (sp Spec) objective() async.Objective {
@@ -353,6 +391,9 @@ func (sp Spec) withResumeBase(base Spec) Spec {
 	}
 	if sp.Loss != "" {
 		out.Loss = sp.Loss
+	}
+	if sp.Mode != "" {
+		out.Mode = sp.Mode
 	}
 	switch {
 	case sp.Objective != (async.Objective{}):
@@ -417,7 +458,7 @@ func (sp Spec) solveOptions(workers int) (async.SolveOptions, error) {
 	if err != nil {
 		return async.SolveOptions{}, err
 	}
-	return async.SolveOptions{
+	out := async.SolveOptions{
 		Params: opt.Params{
 			Loss:            loss,
 			Step:            step,
@@ -430,5 +471,12 @@ func (sp Spec) solveOptions(workers int) (async.SolveOptions, error) {
 		},
 		Objective: sp.objective(),
 		FStar:     sp.FStar,
-	}, nil
+	}
+	switch strings.ToLower(sp.Algorithm) {
+	case "cd":
+		out.CD.Mode = sp.Mode
+	case "gcg":
+		out.GCG.Mode = sp.Mode
+	}
+	return out, nil
 }

@@ -1,0 +1,65 @@
+package async_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/async"
+	"repro/internal/straggler"
+)
+
+// TestBarrierAndFilterConstructors covers the re-exported barrier/filter
+// surface: each constructor yields a usable predicate and the engine
+// accepts them as defaults.
+func TestBarrierAndFilterConstructors(t *testing.T) {
+	for name, b := range map[string]async.Barrier{
+		"ASP":          async.ASP(),
+		"BSP":          async.BSP(),
+		"SSP":          async.SSP(2),
+		"MinAvailable": async.MinAvailable(0.5),
+	} {
+		if b == nil {
+			t.Fatalf("%s returned a nil barrier", name)
+		}
+	}
+	if async.MaxAvgTaskTime(time.Second) == nil {
+		t.Fatal("MaxAvgTaskTime returned a nil filter")
+	}
+	if async.PSP(0.5, rand.New(rand.NewSource(1))) == nil {
+		t.Fatal("PSP returned a nil filter")
+	}
+}
+
+// TestRunStatsAfterSolve: a BSP engine with a (zero-delay) straggler model
+// completes a solve and reports coherent coordinator statistics.
+func TestRunStatsAfterSolve(t *testing.T) {
+	eng, err := async.New(
+		async.WithWorkers(2),
+		async.WithSeed(3),
+		async.WithBarrier(async.BSP()),
+		async.WithStraggler(straggler.None{}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := tinyData(t, 6)
+	if _, err := eng.Solve(context.Background(), "ASGD", d, async.SolveOptions{Params: tinyParams(40)}); err != nil {
+		t.Fatal(err)
+	}
+	rs := eng.RunStats()
+	if rs.Updates != 40 {
+		t.Fatalf("RunStats.Updates = %d, want 40", rs.Updates)
+	}
+	if rs.Pending < 0 {
+		t.Fatalf("RunStats.Pending = %d", rs.Pending)
+	}
+	if len(rs.StalenessHist) == 0 {
+		t.Fatal("staleness histogram empty after a 40-update solve")
+	}
+	if len(rs.WorkerWaitMS) == 0 {
+		t.Fatal("per-worker wait map empty after a 40-update solve")
+	}
+}

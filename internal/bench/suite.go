@@ -58,6 +58,9 @@ func RunSuite(now time.Time, opts SuiteOptions) (*Report, error) {
 	if err := proxMetrics(log); err != nil {
 		return nil, err
 	}
+	if err := selectMetrics(log); err != nil {
+		return nil, err
+	}
 	if err := checkpointMetrics(log); err != nil {
 		return nil, err
 	}

@@ -62,6 +62,10 @@ func NewColView(m *CSR) *ColView {
 	return v
 }
 
+// Slot returns the dense index of column j in Cols, or -1 when absent —
+// the handle external column indexes (maxip) key their per-column state on.
+func (v *ColView) Slot(j int32) int { return v.slot(j) }
+
 // slot returns the dense index of column j in Cols, or -1 when absent.
 func (v *ColView) slot(j int32) int {
 	k := sort.Search(len(v.Cols), func(i int) bool { return v.Cols[i] >= j })

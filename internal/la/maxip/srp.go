@@ -1,0 +1,174 @@
+package maxip
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/la"
+)
+
+// SRP is a bucketed sign-random-projection LSH over norm-augmented columns
+// — the asymmetric MaxIP-to-angular-NN reduction of the related work. Each
+// column is lifted to x̂_j = [x_j; √(M² − ‖x_j‖²)] (M the largest column
+// norm), which equalizes every indexed vector's length so that angular
+// closeness to the lifted query q̂ = [q; 0] orders columns by inner
+// product. Tables bucket columns by the sign pattern of Bits seeded
+// Gaussian projections; a query unions the buckets its own pattern lands
+// in and exactly re-scores the candidates.
+//
+// The structure needs no maintenance (columns are data, hence constant),
+// but every query pays Tables·Bits dense projections of q — O(L·K·n) —
+// which is why the maintained-score Index wins whenever queries arrive as
+// sparse edits. See the package comment.
+type SRP struct {
+	view   *la.ColView
+	rows   int
+	bits   int
+	planes [][]float64          // [table][bits·(rows+1)] Gaussian hyperplanes
+	tables []map[uint64][]int32 // sign pattern → slots
+}
+
+// SRPOptions configure the LSH structure.
+type SRPOptions struct {
+	Tables int   // hash tables (default 8)
+	Bits   int   // sign bits per table (default 12)
+	Seed   int64 // plane RNG seed (default 1)
+}
+
+// NewSRP builds the LSH candidate index over cv's columns. rows is the
+// matrix row count (the home dimension of queries).
+func NewSRP(cv *la.ColView, rows int, opts SRPOptions) *SRP {
+	if opts.Tables <= 0 {
+		opts.Tables = 8
+	}
+	if opts.Bits <= 0 {
+		opts.Bits = 12
+	}
+	if opts.Bits > 64 {
+		opts.Bits = 64
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &SRP{view: cv, rows: rows, bits: opts.Bits}
+
+	// column norms and the augmentation budget M = max ‖x_j‖
+	norms := make([]float64, len(cv.Cols))
+	maxNorm := 0.0
+	for k := range cv.Cols {
+		var sq float64
+		for _, v := range cv.Vals[cv.Starts[k]:cv.Starts[k+1]] {
+			sq += v * v
+		}
+		norms[k] = math.Sqrt(sq)
+		if norms[k] > maxNorm {
+			maxNorm = norms[k]
+		}
+	}
+	if maxNorm == 0 {
+		maxNorm = 1
+	}
+
+	aug := rows // the augmented coordinate's plane component index
+	for t := 0; t < opts.Tables; t++ {
+		planes := make([]float64, opts.Bits*(rows+1))
+		for i := range planes {
+			planes[i] = rng.NormFloat64()
+		}
+		table := make(map[uint64][]int32)
+		for k := range cv.Cols {
+			extra := math.Sqrt(math.Max(0, maxNorm*maxNorm-norms[k]*norms[k]))
+			var sig uint64
+			for b := 0; b < opts.Bits; b++ {
+				p := planes[b*(rows+1):]
+				dot := extra * p[aug]
+				for e := cv.Starts[k]; e < cv.Starts[k+1]; e++ {
+					dot += cv.Vals[e] * p[cv.Rows[e]]
+				}
+				if dot >= 0 {
+					sig |= 1 << uint(b)
+				}
+			}
+			table[sig] = append(table[sig], int32(k))
+		}
+		s.planes = append(s.planes, planes)
+		s.tables = append(s.tables, table)
+	}
+	return s
+}
+
+// Candidates appends the slots bucketed with query q across all tables
+// (deduplicated, ascending) to out. The lifted query zeroes the augmented
+// coordinate, so only the first rows components of each plane matter.
+func (s *SRP) Candidates(q la.Vec, out []int32) []int32 {
+	if len(q) != s.rows {
+		panic(fmt.Sprintf("maxip: SRP query dim %d != %d rows", len(q), s.rows))
+	}
+	base := len(out)
+	mask := uint64(1)<<uint(s.bits) - 1
+	for t, planes := range s.planes {
+		var sig uint64
+		for b := 0; b < s.bits; b++ {
+			p := planes[b*(s.rows+1):]
+			var dot float64
+			for i, v := range q {
+				dot += v * p[i]
+			}
+			if dot >= 0 {
+				sig |= 1 << uint(b)
+			}
+		}
+		// the query's own bucket catches positive inner products; the
+		// complement bucket (−q's signature) catches negative ones, so the
+		// candidate set covers argmax |⟨x_j, q⟩| for either sign
+		out = append(out, s.tables[t][sig]...)
+		out = append(out, s.tables[t][sig^mask]...)
+	}
+	sel := out[base:]
+	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
+	w := base
+	for _, k := range out[base:] {
+		if w == base || out[w-1] != k {
+			out[w] = k
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// TopK returns the k candidate columns with the largest |⟨x_j, q⟩| among
+// the LSH candidate set, exactly re-scored (highest first, ties by
+// ascending column id). The true argmax is in the result with high
+// probability — certainty requires the exact Index.
+func (s *SRP) TopK(q la.Vec, k int, out []int32) []int32 {
+	slots := s.Candidates(q, nil)
+	type kv struct {
+		col int32
+		r   float64
+	}
+	scored := make([]kv, 0, len(slots))
+	for _, slot := range slots {
+		var dot float64
+		for e := s.view.Starts[slot]; e < s.view.Starts[slot+1]; e++ {
+			dot += s.view.Vals[e] * q[s.view.Rows[e]]
+		}
+		scored = append(scored, kv{s.view.Cols[slot], math.Abs(dot)})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].r != scored[b].r {
+			return scored[a].r > scored[b].r
+		}
+		return scored[a].col < scored[b].col
+	})
+	if k > len(scored) {
+		k = len(scored)
+	}
+	for _, e := range scored[:k] {
+		out = append(out, e.col)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package la
+
+// In-place selection over parallel (index, value) slices — the alloc-free
+// substrate of top-k gradient sparsification. Replaces the former full sort:
+// selecting the k largest-magnitude coordinates is O(d + k) expected via
+// quickselect, and only the k survivors pay the final by-index ordering.
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TopAbs partially partitions the parallel slices so that the cut = min(k,
+// len) largest-|val| entries occupy idx[:cut], val[:cut] (in unspecified
+// order). Expected O(len + cut); no allocation. Returns cut.
+func TopAbs(idx []int32, val []float64, k int) int {
+	n := len(idx)
+	if k >= n {
+		return n
+	}
+	if k <= 0 {
+		return 0
+	}
+	lo, hi := 0, n-1
+	for {
+		if hi-lo < 12 {
+			insertionAbsDesc(idx, val, lo, hi)
+			return k
+		}
+		// median-of-three pivot, moved to hi for a Lomuto partition
+		mid := int(uint(lo+hi) >> 1)
+		p := mid
+		a, b, c := absf(val[lo]), absf(val[mid]), absf(val[hi])
+		switch {
+		case (a >= b) == (a <= c):
+			p = lo
+		case (c >= a) == (c <= b):
+			p = hi
+		}
+		idx[p], idx[hi] = idx[hi], idx[p]
+		val[p], val[hi] = val[hi], val[p]
+		pv := absf(val[hi])
+		store := lo
+		for i := lo; i < hi; i++ {
+			if absf(val[i]) > pv {
+				idx[i], idx[store] = idx[store], idx[i]
+				val[i], val[store] = val[store], val[i]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		val[store], val[hi] = val[hi], val[store]
+		switch {
+		case k-1 < store:
+			hi = store - 1
+		case k-1 > store:
+			lo = store + 1
+		default:
+			return k
+		}
+	}
+}
+
+// insertionAbsDesc sorts idx/val[lo:hi+1] by descending |val| in place.
+func insertionAbsDesc(idx []int32, val []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && absf(val[j]) > absf(val[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			val[j], val[j-1] = val[j-1], val[j]
+		}
+	}
+}
+
+// SortPairsByIdx sorts the parallel slices by ascending index in place —
+// the canonical-order pass a SparseVec needs after selection. In-place
+// quicksort with an insertion-sort tail; no allocation.
+func SortPairsByIdx(idx []int32, val []float64) {
+	sortPairsRange(idx, val, 0, len(idx)-1)
+}
+
+func sortPairsRange(idx []int32, val []float64, lo, hi int) {
+	for hi-lo >= 12 {
+		mid := int(uint(lo+hi) >> 1)
+		p := mid
+		if (idx[lo] >= idx[mid]) == (idx[lo] <= idx[hi]) {
+			p = lo
+		} else if (idx[hi] >= idx[lo]) == (idx[hi] <= idx[mid]) {
+			p = hi
+		}
+		idx[p], idx[hi] = idx[hi], idx[p]
+		val[p], val[hi] = val[hi], val[p]
+		pv := idx[hi]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if idx[i] < pv {
+				idx[i], idx[store] = idx[store], idx[i]
+				val[i], val[store] = val[store], val[i]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		val[store], val[hi] = val[hi], val[store]
+		// recurse into the smaller half, loop on the larger
+		if store-lo < hi-store {
+			sortPairsRange(idx, val, lo, store-1)
+			lo = store + 1
+		} else {
+			sortPairsRange(idx, val, store+1, hi)
+			hi = store - 1
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			val[j], val[j-1] = val[j-1], val[j]
+		}
+	}
+}

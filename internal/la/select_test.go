@@ -1,0 +1,114 @@
+package la
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTopAbsSelectsLargest checks the quickselect cut against a full sort
+// across sizes, k values, and duplicate-heavy inputs.
+func TestTopAbsSelectsLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(n + 10)
+		idx := make([]int32, n)
+		val := make([]float64, n)
+		for i := range val {
+			idx[i] = int32(i)
+			if trial%3 == 0 {
+				val[i] = float64(rng.Intn(4)) - 2 // heavy ties
+			} else {
+				val[i] = rng.NormFloat64()
+			}
+		}
+		want := append([]float64(nil), val...)
+		sort.Slice(want, func(a, b int) bool { return absf(want[a]) > absf(want[b]) })
+
+		cut := TopAbs(idx, val, k)
+		wantCut := k
+		if wantCut > n {
+			wantCut = n
+		}
+		if cut != wantCut {
+			t.Fatalf("trial %d: cut %d, want %d", trial, cut, wantCut)
+		}
+		got := append([]float64(nil), val[:cut]...)
+		sort.Slice(got, func(a, b int) bool { return absf(got[a]) > absf(got[b]) })
+		for i := range got {
+			// compare magnitudes: ties may resolve to either signed value
+			if absf(got[i]) != absf(want[i]) {
+				t.Fatalf("trial %d rank %d: |%v| != |%v|", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopAbsPairsStayParallel: after selection, each index still carries the
+// value it started with.
+func TestTopAbsPairsStayParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(n)
+		idx := make([]int32, n)
+		val := make([]float64, n)
+		orig := map[int32]float64{}
+		for i := range val {
+			idx[i] = int32(i)
+			val[i] = rng.NormFloat64()
+			orig[idx[i]] = val[i]
+		}
+		cut := TopAbs(idx, val, k)
+		for i := 0; i < cut; i++ {
+			if val[i] != orig[idx[i]] {
+				t.Fatalf("trial %d: idx %d carries %v, want %v", trial, idx[i], val[i], orig[idx[i]])
+			}
+		}
+	}
+}
+
+func TestSortPairsByIdx(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(400)
+		idx := make([]int32, n)
+		val := make([]float64, n)
+		orig := map[int32]float64{}
+		perm := rng.Perm(n)
+		for i, p := range perm {
+			idx[i] = int32(p)
+			val[i] = rng.NormFloat64()
+			orig[idx[i]] = val[i]
+		}
+		SortPairsByIdx(idx, val)
+		for i := range idx {
+			if i > 0 && idx[i] <= idx[i-1] {
+				t.Fatalf("trial %d: unsorted at %d: %d after %d", trial, i, idx[i], idx[i-1])
+			}
+			if val[i] != orig[idx[i]] {
+				t.Fatalf("trial %d: idx %d carries %v, want %v", trial, idx[i], val[i], orig[idx[i]])
+			}
+		}
+	}
+}
+
+func TestSelectAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	idx := make([]int32, 4096)
+	val := make([]float64, 4096)
+	reset := func() {
+		for i := range idx {
+			idx[i] = int32(rng.Intn(1 << 20))
+			val[i] = rng.NormFloat64()
+		}
+	}
+	reset()
+	if a := testing.AllocsPerRun(20, func() { TopAbs(idx, val, 128); reset() }); a != 0 {
+		t.Errorf("TopAbs allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { SortPairsByIdx(idx, val); reset() }); a != 0 {
+		t.Errorf("SortPairsByIdx allocates %v per run, want 0", a)
+	}
+}

@@ -43,9 +43,14 @@ import (
 type CDParams struct {
 	Params
 	BlockSize int     // coordinates per block (default min(32, cols))
-	Mode      string  // block order: "cyclic" (default) or "random"
+	Mode      string  // block order: "cyclic" (default), "random", or "greedy"
 	DampStep  float64 // damping in (0,1]; 1 = full preconditioned prox step
 	Seed      int64   // block RNG seed (random mode)
+
+	// exactBelow forwards to the greedy selector's maxip.Options.ExactBelow
+	// (tests pin tree-vs-scan selector equivalence through it; zero is the
+	// package default threshold, negative forces the tournament tree).
+	exactBelow int
 }
 
 func (p *CDParams) defaults(cols int) error {
@@ -67,9 +72,9 @@ func (p *CDParams) defaults(cols int) error {
 	switch p.Mode {
 	case "":
 		p.Mode = "cyclic"
-	case "cyclic", "random":
+	case "cyclic", "random", "greedy":
 	default:
-		return fmt.Errorf("opt: CD mode %q (cyclic, random)", p.Mode)
+		return fmt.Errorf("opt: CD mode %q (cyclic, random, greedy)", p.Mode)
 	}
 	if p.Updates <= 0 {
 		return fmt.Errorf("opt: CD needs positive Updates")
@@ -203,6 +208,7 @@ type cdUpdater struct {
 	n          int // total dataset rows (sum-unit penalty scaling)
 	blockSize  int
 	cyclic     bool
+	sel        *gsSelector // greedy mode; nil otherwise
 	rng        *rand.Rand
 	perm       []int32
 	runID      int64
@@ -215,7 +221,8 @@ type cdUpdater struct {
 	delta *la.DeltaVec // last round's coordinate changes (driver-owned)
 }
 
-func newCDUpdater(cols, rows int, p *CDParams) (*cdUpdater, error) {
+func newCDUpdater(d *dataset.Dataset, p *CDParams) (*cdUpdater, error) {
+	cols, rows := d.NumCols(), d.NumRows()
 	lin, l2, l1, ok := splitProx(p.Loss)
 	if !ok {
 		return nil, fmt.Errorf("opt: cd cannot decompose objective %q into a linear core", p.Loss.Name())
@@ -233,6 +240,9 @@ func newCDUpdater(cols, rows int, p *CDParams) (*cdUpdater, error) {
 		runID:  cdRunSeq.Add(1),
 		g:      la.NewVec(p.BlockSize), h: la.NewVec(p.BlockSize),
 	}
+	if p.Mode == "greedy" {
+		u.sel = newGSSelector(d, lin, l2, l1, u.w, p.exactBelow)
+	}
 	for j := range u.perm {
 		u.perm[j] = int32(j)
 	}
@@ -244,7 +254,18 @@ func newCDUpdater(cols, rows int, p *CDParams) (*cdUpdater, error) {
 // resume replays the exact block sequence. Blocks are returned sorted (the
 // delta broadcast keeps the DeltaVec index-order contract; within-block
 // order is irrelevant to the math).
+//
+// In greedy mode the block is instead the Gauss-Southwell top-|score| set
+// from the selector's index — state-dependent, so resume rebuilds the
+// selector rather than replaying draws. Once the selector has tripped its
+// verification fallback, picks revert to the cyclic cursor (the dispatch
+// counter kept advancing through the greedy picks, so the cursor is
+// well-defined).
 func (u *cdUpdater) pickBlock() []int32 {
+	if u.sel != nil && !u.sel.fallback {
+		u.dispatches++
+		return append([]int32(nil), u.sel.pick(u.blockSize)...)
+	}
 	d := len(u.perm)
 	block := make([]int32, u.blockSize)
 	if u.cyclic {
@@ -282,8 +303,10 @@ func (u *cdUpdater) Apply(payload any, _ *core.Attrs, _ float64) error {
 	if !ok {
 		return fmt.Errorf("unexpected payload %T", payload)
 	}
-	la.Axpy(1, part.G, u.g)
-	la.Axpy(1, part.H, u.h)
+	// greedy blocks can come up short of BlockSize when the data stores
+	// fewer distinct columns; the accumulators are sized for the maximum
+	la.Axpy(1, part.G, u.g[:len(part.G)])
+	la.Axpy(1, part.H, u.h[:len(part.H)])
 	u.got++
 	la.PutVec(part.G)
 	la.PutVec(part.H)
@@ -295,6 +318,12 @@ func (u *cdUpdater) FlushRound(_ float64) (bool, error) {
 		u.g.Zero()
 		u.h.Zero()
 		return false, nil
+	}
+	if u.sel != nil && !u.sel.fallback {
+		// the workers' summed block gradient is ground truth for the scores
+		// this block was selected on; verify may rebuild the selector (at
+		// the still-pre-step model) or trip the permanent cyclic fallback
+		u.sel.verify(u.block, u.g[:len(u.block)])
 	}
 	nl2 := float64(u.n) * u.l2
 	nl1 := float64(u.n) * u.l1
@@ -311,6 +340,9 @@ func (u *cdUpdater) FlushRound(_ float64) (bool, error) {
 			delta.Val = append(delta.Val, d)
 			u.w[j] = uj
 		}
+	}
+	if u.sel != nil && !u.sel.fallback {
+		u.sel.advance(delta)
 	}
 	u.delta = delta
 	u.round++
@@ -331,8 +363,18 @@ func (u *cdUpdater) Import(cp *Checkpoint) error {
 	// delta chain restarts (fresh run fence → workers rebuild once)
 	replay := cp.Int("dispatches")
 	u.dispatches = 0
-	for i := int64(0); i < replay; i++ {
-		u.pickBlock()
+	if u.sel != nil {
+		// greedy picks are state-dependent, not counter-derived: rebuild the
+		// selector at the restored model instead of replaying draws. The
+		// counter still restores so a later fallback's cyclic cursor lands
+		// where the original run's would have.
+		u.dispatches = replay
+		u.sel.misses, u.sel.rebuilt, u.sel.fallback = 0, false, false
+		u.sel.reset()
+	} else {
+		for i := int64(0); i < replay; i++ {
+			u.pickBlock()
+		}
 	}
 	u.round = 0
 	u.delta = nil
@@ -346,7 +388,7 @@ func CD(ac *core.Context, d *dataset.Dataset, p CDParams, fstar float64) (*Resul
 	if err := p.defaults(d.NumCols()); err != nil {
 		return nil, err
 	}
-	u, err := newCDUpdater(d.NumCols(), d.NumRows(), &p)
+	u, err := newCDUpdater(d, &p)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -35,9 +36,25 @@ import (
 // step schedule, update budget and checkpoint/preempt/resume hooks;
 // SampleFrac is ignored (every round is a full gradient pass) and the
 // barrier is forced to BSP.
+//
+// Mode "greedy" switches from full-gradient conjugate rounds to greedy atom
+// rounds: each round the driver's MaxIP selector (internal/la/maxip, shared
+// with greedy CD) picks the Atoms steepest coordinates, the workers return
+// exact per-atom gradients via the block kernel, and the driver takes one
+// proximal step on just those atoms at the scheduled step size — the
+// conditional-gradient-type "select the next atoms without an O(d) pass"
+// move. There is no conjugate recursion over the changing active set, and
+// RestartEvery is ignored; the selector's verification contract (rebuild on
+// miss, permanent cyclic fallback on repeated misses) applies unchanged.
 type GCGParams struct {
 	Params
-	RestartEvery int // updates between conjugate restarts (default 20)
+	RestartEvery int    // updates between conjugate restarts (default 20; full mode)
+	Mode         string // "full" (default) or "greedy"
+	Atoms        int    // greedy mode: atoms per round (default min(32, cols))
+
+	// exactBelow forwards to the greedy selector's maxip.Options.ExactBelow
+	// (the test knob; zero = package default, negative = force the tree).
+	exactBelow int
 }
 
 func (p *GCGParams) defaults() error {
@@ -46,6 +63,16 @@ func (p *GCGParams) defaults() error {
 	}
 	if p.RestartEvery == 0 {
 		p.RestartEvery = 20
+	}
+	switch p.Mode {
+	case "":
+		p.Mode = "full"
+	case "full", "greedy":
+	default:
+		return fmt.Errorf("opt: GCG mode %q (full, greedy)", p.Mode)
+	}
+	if p.Atoms < 0 {
+		return fmt.Errorf("opt: GCG atoms %d must be non-negative", p.Atoms)
 	}
 	p.SampleFrac = 1 // full-gradient rounds; satisfy Params validation
 	return p.Params.defaults()
@@ -154,11 +181,164 @@ func (u *gcgUpdater) restart(global int64) error {
 	return u.Import(cp)
 }
 
+// gcgGreedyUpdater owns the greedy-atom driver state: the model, the MaxIP
+// selector, the round's atom set and its combined exact gradients, and the
+// residual-delta chain the workers advance on (the same CDDelta machinery
+// as coordinate descent, under the "gcg.delta" broadcast id).
+type gcgGreedyUpdater struct {
+	w          la.Vec
+	lin        LinearLoss
+	l2, l1     float64
+	n          int // dataset rows: kernel gradients are sum-unit, steps mean-unit
+	atoms      int
+	sel        *gsSelector
+	runID      int64
+	dispatches int64
+
+	round int64
+	block []int32
+	g     la.Vec
+	got   int
+	delta *la.DeltaVec
+}
+
+func newGCGGreedyUpdater(d *dataset.Dataset, p *GCGParams) (*gcgGreedyUpdater, error) {
+	lin, l2, l1, ok := splitProx(p.Loss)
+	if !ok {
+		return nil, fmt.Errorf("opt: greedy gcg cannot decompose objective %q into a linear core", p.Loss.Name())
+	}
+	cols := d.NumCols()
+	atoms := p.Atoms
+	if atoms == 0 {
+		atoms = 32
+	}
+	if atoms > cols {
+		atoms = cols
+	}
+	u := &gcgGreedyUpdater{
+		w: la.NewVec(cols), lin: lin, l2: l2, l1: l1,
+		n: d.NumRows(), atoms: atoms,
+		runID: cdRunSeq.Add(1),
+		g:     la.NewVec(atoms),
+	}
+	u.sel = newGSSelector(d, lin, l2, l1, u.w, p.exactBelow)
+	return u, nil
+}
+
+// pickAtoms draws the round's atom set: the selector's top-|score| set, or
+// the cyclic cursor once the verification fallback has tripped.
+func (u *gcgGreedyUpdater) pickAtoms() []int32 {
+	u.dispatches++
+	if !u.sel.fallback {
+		return append([]int32(nil), u.sel.pick(u.atoms)...)
+	}
+	d := len(u.w)
+	block := make([]int32, u.atoms)
+	pos := int(u.dispatches-1) * u.atoms % d
+	for k := range block {
+		block[k] = int32((pos + k) % d)
+	}
+	sort.Slice(block, func(a, b int) bool { return block[a] < block[b] })
+	return block
+}
+
+func (u *gcgGreedyUpdater) exportDelta() CDDelta {
+	dd := CDDelta{RunID: u.runID, Round: u.round}
+	if u.delta != nil {
+		dd.Delta = u.delta.Clone()
+	}
+	return dd
+}
+
+func (u *gcgGreedyUpdater) Model() la.Vec { return u.w }
+func (u *gcgGreedyUpdater) Settle()       {}
+
+func (u *gcgGreedyUpdater) Apply(payload any, _ *core.Attrs, _ float64) error {
+	part, ok := payload.(BCDPartial)
+	if !ok {
+		return fmt.Errorf("unexpected payload %T", payload)
+	}
+	la.Axpy(1, part.G, u.g[:len(part.G)])
+	u.got++
+	la.PutVec(part.G)
+	la.PutVec(part.H) // curvature rides the block kernel but greedy GCG steps by schedule
+	return nil
+}
+
+func (u *gcgGreedyUpdater) FlushRound(alpha float64) (bool, error) {
+	if u.got == 0 {
+		u.g.Zero()
+		return false, nil
+	}
+	if !u.sel.fallback {
+		u.sel.verify(u.block, u.g[:len(u.block)])
+	}
+	n := float64(u.n)
+	delta := &la.DeltaVec{N: len(u.w)}
+	for k, j := range u.block {
+		gj := u.g[k]/n + u.l2*u.w[j] // mean-unit composite gradient on atom j
+		uj := SoftThreshold(u.w[j]-alpha*gj, alpha*u.l1)
+		if d := uj - u.w[j]; d != 0 {
+			delta.Idx = append(delta.Idx, j)
+			delta.Val = append(delta.Val, d)
+			u.w[j] = uj
+		}
+	}
+	if !u.sel.fallback {
+		u.sel.advance(delta)
+	}
+	u.delta = delta
+	u.round++
+	u.g.Zero()
+	u.got = 0
+	return true, nil
+}
+
+func (u *gcgGreedyUpdater) Export(cp *Checkpoint) { cp.SetInt("dispatches", u.dispatches) }
+
+func (u *gcgGreedyUpdater) Import(cp *Checkpoint) error {
+	if err := importModel(u.w, cp); err != nil {
+		return err
+	}
+	// greedy picks are state-dependent: rebuild the selector at the restored
+	// model; the counter restores so a later fallback's cursor is stable
+	u.dispatches = cp.Int("dispatches")
+	u.sel.misses, u.sel.rebuilt, u.sel.fallback = 0, false, false
+	u.sel.reset()
+	u.round = 0
+	u.delta = nil
+	u.runID = cdRunSeq.Add(1)
+	return nil
+}
+
+// greedyGCG runs the atom-selection mode on the block-kernel machinery.
+func greedyGCG(ac *core.Context, d *dataset.Dataset, p GCGParams, fstar float64) (*Result, error) {
+	u, err := newGCGGreedyUpdater(d, &p)
+	if err != nil {
+		return nil, err
+	}
+	return runLoop(ac, d, u, &loopSpec{
+		Algo: "GCG-greedy", Name: "gcg", Key: "gcg.w",
+		P: &p.Params, Loss: p.Loss, FStar: fstar,
+		Target: int64(p.Updates), Publish: pubPlain, Prune: true,
+		Barrier: core.BSP(), Round: true,
+		Dispatch: func(wBr core.DynBroadcast, sel *core.Selection) (int, error) {
+			u.block = u.pickAtoms()
+			dBr := ac.ASYNCbroadcast("gcg.delta", u.exportDelta())
+			ac.RDD().PruneBroadcast("gcg.delta", 4*ac.RDD().Cluster().NumWorkers())
+			return ac.ASYNCreduce(sel, cdKernel(u.lin, 1, wBr, dBr, u.block))
+		},
+	})
+}
+
 // GCG runs restart-based generalized conjugate gradient over the composite
 // objective p.Loss. fstar is the reference optimum used for error traces.
 func GCG(ac *core.Context, d *dataset.Dataset, p GCGParams, fstar float64) (*Result, error) {
 	if err := p.defaults(); err != nil {
 		return nil, err
+	}
+	if p.Mode == "greedy" {
+		return greedyGCG(ac, d, p, fstar)
 	}
 	u := newGCGUpdater(d.NumCols(), &p)
 	return runLoop(ac, d, u, &loopSpec{

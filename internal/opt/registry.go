@@ -84,9 +84,13 @@ type CDConfig struct {
 }
 
 // GCGConfig carries the generalized-CG knobs; zero RestartEvery restarts
-// every 20 updates.
+// every 20 updates. Mode "greedy" switches to MaxIP atom selection with
+// Atoms coordinates per round (zero picks min(32, cols)); empty Mode is
+// the full-gradient conjugate solver.
 type GCGConfig struct {
 	RestartEvery int
+	Mode         string
+	Atoms        int
 }
 
 // SolveRequest is everything a registered solver runs against: the ASYNC
@@ -288,7 +292,12 @@ func solveCD(_ context.Context, r SolveRequest) (*Result, error) {
 
 func solveGCG(_ context.Context, r SolveRequest) (*Result, error) {
 	cfg := r.Config
-	gp := GCGParams{Params: cfg.Params, RestartEvery: cfg.GCG.RestartEvery}
+	gp := GCGParams{
+		Params:       cfg.Params,
+		RestartEvery: cfg.GCG.RestartEvery,
+		Mode:         cfg.GCG.Mode,
+		Atoms:        cfg.GCG.Atoms,
+	}
 	return GCG(r.AC, r.Data, gp, cfg.FStar)
 }
 

@@ -373,3 +373,21 @@ func TestResumeDimMismatch(t *testing.T) {
 		t.Fatal("dim mismatch accepted")
 	}
 }
+
+func TestResumeEquivalenceSparseASGD(t *testing.T) {
+	// the shipped-coordinate count is driver state: the resumed run must
+	// report the whole run's communication cost, not the tail segment's
+	var counts []int64
+	resumePair(t, 6, 0, denseRig, func(r *rig, seg segCfg) (*Result, error) {
+		p := asgdParams()
+		seg.apply(&p)
+		res, coords, err := SparseASGD(r.ac, r.d, p, 0.5, r.fstar)
+		if err == nil {
+			counts = append(counts, coords)
+		}
+		return res, err
+	})
+	if len(counts) != 2 || counts[0] != counts[1] {
+		t.Fatalf("coords full=%v vs resumed=%v — count must ride the checkpoint", counts[:1], counts[1:])
+	}
+}

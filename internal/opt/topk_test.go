@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -80,6 +81,33 @@ func TestPropTopKKeepsLargest(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTopKAllocs pins the selection path's budget: with the scratch pair
+// pooled, a steady-state call pays only the two result-slice copies.
+func TestTopKAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := make(la.Vec, 8192)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	TopK(g, 128) // warm the scratch pool
+	if a := testing.AllocsPerRun(50, func() { TopK(g, 128) }); a > 2 {
+		t.Errorf("TopK allocates %v per run, want ≤ 2 (result slices)", a)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	g := make(la.Vec, 1<<17)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	k := len(g) / 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(g, k)
 	}
 }
 
